@@ -1,0 +1,373 @@
+package repro
+
+// The benchmark harness: one benchmark per paper table and figure (the
+// regeneration cost over a fixed trace), the side experiments, and the
+// ablations called out in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks share one small generated trace pair (build cost excluded
+// from timings via b.ResetTimer; generation itself is measured by
+// BenchmarkGenerateCampus / BenchmarkGenerateEECS).
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/anon"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+var (
+	benchOnce   sync.Once
+	benchCampus *Trace
+	benchEECS   *Trace
+)
+
+func benchTraces(b *testing.B) (*Trace, *Trace) {
+	b.Helper()
+	benchOnce.Do(func() {
+		s := SmallScale()
+		s.Days = 2
+		benchCampus = GenerateCampus(s)
+		benchEECS = GenerateEECS(s)
+	})
+	return benchCampus, benchEECS
+}
+
+func benchExperiment(b *testing.B, fn func(*Trace, *Trace) string) {
+	campus, eecs := benchTraces(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := fn(campus, eecs); len(out) == 0 {
+			b.Fatal("empty experiment output")
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)  { benchExperiment(b, Table1) }
+func BenchmarkTable2(b *testing.B)  { benchExperiment(b, Table2) }
+func BenchmarkTable3(b *testing.B)  { benchExperiment(b, Table3) }
+func BenchmarkTable4(b *testing.B)  { benchExperiment(b, Table4) }
+func BenchmarkTable5(b *testing.B)  { benchExperiment(b, Table5) }
+func BenchmarkFigure1(b *testing.B) { benchExperiment(b, Figure1) }
+func BenchmarkFigure2(b *testing.B) { benchExperiment(b, Figure2) }
+func BenchmarkFigure3(b *testing.B) { benchExperiment(b, Figure3) }
+func BenchmarkFigure4(b *testing.B) { benchExperiment(b, Figure4) }
+func BenchmarkFigure5(b *testing.B) { benchExperiment(b, Figure5) }
+
+func BenchmarkExpNfsiod(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := ExpNfsiod(); len(out) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkExpNames(b *testing.B) {
+	campus, _ := benchTraces(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := ExpNames(campus); len(out) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkExpReadahead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := ExpReadahead(); len(out) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkExpLoss(b *testing.B) {
+	s := SmallScale()
+	s.Days = 0.25
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := ExpLoss(s); len(out) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkExpHierarchy(b *testing.B) {
+	campus, _ := benchTraces(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := ExpHierarchy(campus); len(out) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// --- Trace generation cost ---
+
+func BenchmarkGenerateCampus(b *testing.B) {
+	s := SmallScale()
+	s.Days = 0.25
+	var ops int
+	for i := 0; i < b.N; i++ {
+		tr := GenerateCampus(s)
+		ops = len(tr.Ops)
+	}
+	b.ReportMetric(float64(ops), "ops/trace")
+}
+
+func BenchmarkGenerateEECS(b *testing.B) {
+	s := SmallScale()
+	s.Days = 0.25
+	var ops int
+	for i := 0; i < b.N; i++ {
+		tr := GenerateEECS(s)
+		ops = len(tr.Ops)
+	}
+	b.ReportMetric(float64(ops), "ops/trace")
+}
+
+// --- Ablations (DESIGN.md) ---
+
+// BenchmarkAblationWindow compares run detection across reorder window
+// sizes; the reported metric is the random-read percentage, which the
+// window exists to repair.
+func BenchmarkAblationWindow(b *testing.B) {
+	campus, _ := benchTraces(b)
+	for _, winMS := range []float64{0, 5, 10, 50} {
+		name := map[float64]string{0: "w0ms", 5: "w5ms", 10: "w10ms", 50: "w50ms"}[winMS]
+		b.Run(name, func(b *testing.B) {
+			var randomPct float64
+			for i := 0; i < b.N; i++ {
+				tab := analysis.Tabulate(analysis.DetectRuns(campus.Ops,
+					analysis.RunConfig{ReorderWindow: winMS / 1000, IdleGap: 30, JumpBlocks: 10}))
+				randomPct = tab.Read[analysis.PatternRandom]
+			}
+			b.ReportMetric(randomPct, "%random-reads")
+		})
+	}
+}
+
+// BenchmarkAblationK compares the k=1 strict and k=10 jump-tolerant
+// classifications.
+func BenchmarkAblationK(b *testing.B) {
+	campus, _ := benchTraces(b)
+	for _, k := range []int64{1, 10} {
+		name := map[int64]string{1: "k1", 10: "k10"}[k]
+		b.Run(name, func(b *testing.B) {
+			var randomPct float64
+			for i := 0; i < b.N; i++ {
+				tab := analysis.Tabulate(analysis.DetectRuns(campus.Ops,
+					analysis.RunConfig{ReorderWindow: 0.010, IdleGap: 30, JumpBlocks: k}))
+				randomPct = tab.Write[analysis.PatternRandom]
+			}
+			b.ReportMetric(randomPct, "%random-writes")
+		})
+	}
+}
+
+// BenchmarkAblationBreak compares run-break idle gaps (5s vs 30s vs
+// none), reporting the run count each rule produces.
+func BenchmarkAblationBreak(b *testing.B) {
+	campus, _ := benchTraces(b)
+	for _, gap := range []float64{5, 30, 0} {
+		name := map[float64]string{5: "gap5s", 30: "gap30s", 0: "eof-only"}[gap]
+		b.Run(name, func(b *testing.B) {
+			var runs int
+			for i := 0; i < b.N; i++ {
+				rs := analysis.DetectRuns(campus.Ops,
+					analysis.RunConfig{ReorderWindow: 0.010, IdleGap: gap, JumpBlocks: 10})
+				runs = len(rs)
+			}
+			b.ReportMetric(float64(runs), "runs")
+		})
+	}
+}
+
+// BenchmarkAblationAnon compares the paper's table-based anonymizer
+// against a hash-style deterministic mapping (which the paper rejects
+// for security, not speed — this quantifies the cost of doing it right).
+func BenchmarkAblationAnon(b *testing.B) {
+	names := make([]string, 2000)
+	rng := rand.New(rand.NewSource(1))
+	for i := range names {
+		names[i] = randomName(rng)
+	}
+	b.Run("table-based", func(b *testing.B) {
+		a := anon.New(anon.DefaultConfig(1))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a.Name(names[i%len(names)])
+		}
+	})
+	b.Run("hash-based", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fnvName(names[i%len(names)])
+		}
+	})
+}
+
+func randomName(rng *rand.Rand) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	n := 4 + rng.Intn(12)
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = letters[rng.Intn(len(letters))]
+	}
+	if rng.Intn(2) == 0 {
+		return string(buf) + ".c"
+	}
+	return string(buf)
+}
+
+// fnvName is the rejected hash-based alternative.
+func fnvName(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// --- Pipeline micro-benchmarks ---
+
+// BenchmarkJoin measures call/reply matching throughput.
+func BenchmarkJoin(b *testing.B) {
+	s := SmallScale()
+	s.Days = 0.2
+	records := GenerateCampusRecords(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ops, _ := core.Join(records)
+		if len(ops) == 0 {
+			b.Fatal("no ops")
+		}
+	}
+	b.SetBytes(int64(len(records)))
+}
+
+// BenchmarkRecordMarshal measures trace-format serialization.
+func BenchmarkRecordMarshal(b *testing.B) {
+	rec := &core.Record{
+		Time: 1003680000.004742, Kind: core.KindCall,
+		Client: 0x0a000005, Port: 801, Server: 0x0a000001, Proto: core.ProtoUDP,
+		XID: 0xa2f3, Version: 3, Proc: "read",
+		FH: "0000000000000007", Offset: 8192, Count: 8192, UID: 501, GID: 100,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(rec.Marshal()) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkRecordUnmarshal measures trace-format parsing.
+func BenchmarkRecordUnmarshal(b *testing.B) {
+	rec := &core.Record{
+		Time: 1003680000.004742, Kind: core.KindCall,
+		Client: 0x0a000005, Port: 801, Server: 0x0a000001, Proto: core.ProtoUDP,
+		XID: 0xa2f3, Version: 3, Proc: "read",
+		FH: "0000000000000007", Offset: 8192, Count: 8192, UID: 501, GID: 100,
+	}
+	line := rec.Marshal()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.UnmarshalRecord(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadAheadPolicies measures the §6.4 read-path simulation.
+func BenchmarkReadAheadPolicies(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	var reqs []server.ReadRequest
+	for f := uint64(1); f <= 10; f++ {
+		start := len(reqs)
+		for bl := int64(0); bl < 256; bl++ {
+			reqs = append(reqs, server.ReadRequest{File: f, Block: bl, NBlocks: 1})
+		}
+		for i := start; i < len(reqs)-1; i++ {
+			if rng.Float64() < 0.10 {
+				reqs[i], reqs[i+1] = reqs[i+1], reqs[i]
+			}
+		}
+	}
+	b.Run("strict", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			server.RunReadPath(reqs, server.NewStrictSequential(8), 2048)
+		}
+	})
+	b.Run("metric", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			server.RunReadPath(reqs, server.NewMetricReadAhead(), 2048)
+		}
+	})
+}
+
+// BenchmarkNfsiodPool measures dispatch cost.
+func BenchmarkNfsiodPool(b *testing.B) {
+	p := client.NewPool(4, 1)
+	t := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t += 0.0001
+		p.Dispatch(t)
+	}
+}
+
+// BenchmarkSortWindow measures the §4.2 reorder-window sort.
+func BenchmarkSortWindow(b *testing.B) {
+	campus, _ := benchTraces(b)
+	files := analysis.FileAccesses(campus.Ops)
+	var biggest []analysis.Access
+	for _, accs := range files {
+		if len(accs) > len(biggest) {
+			biggest = accs
+		}
+	}
+	cp := make([]analysis.Access, len(biggest))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(cp, biggest)
+		analysis.SortWindow(cp, 0.010)
+	}
+	b.SetBytes(int64(len(biggest)))
+}
+
+// BenchmarkHourly measures the Figure 4 bucketing pass.
+func BenchmarkHourly(b *testing.B) {
+	campus, _ := benchTraces(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.Hourly(campus.Ops, campus.Days*workload.Day)
+	}
+	b.SetBytes(int64(len(campus.Ops)))
+}
+
+func BenchmarkExpNVRAM(b *testing.B) {
+	campus, eecs := benchTraces(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := ExpNVRAM(campus, eecs); len(out) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkExpQuiet(b *testing.B) {
+	campus, eecs := benchTraces(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := ExpQuiet(campus, eecs); len(out) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// nfsanalyze runs one of the paper's analyses over a trace file (text
+// or binary format, auto-detected).
+//
+// Usage:
+//
+//	nfsanalyze -i campus.trace -analysis summary
+//	nfsanalyze -i campus.trace -analysis runs -window 10
+//	nfsanalyze -i campus.trace -analysis blocklife -start 118800 -phase 86400 -margin 86400
+//	nfsanalyze -i campus.trace -analysis hourly
+//	nfsanalyze -i campus.trace -analysis names
+//	nfsanalyze -i campus.trace -analysis hierarchy
+//	nfsanalyze -i campus.trace -analysis reorder
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	in := flag.String("i", "", "input trace (default stdin)")
+	kind := flag.String("analysis", "summary",
+		"analysis: summary, runs, blocklife, hourly, names, hierarchy, reorder")
+	window := flag.Float64("window", 10, "reorder window in ms (runs)")
+	jump := flag.Int64("k", 10, "jump tolerance in blocks (runs)")
+	start := flag.Float64("start", 0, "blocklife phase-1 start (seconds)")
+	phase := flag.Float64("phase", workload.Day, "blocklife phase-1 length (seconds)")
+	margin := flag.Float64("margin", workload.Day, "blocklife end margin (seconds)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	src, err := core.DetectSource(r)
+	if err != nil {
+		fatal(err)
+	}
+	var records []*core.Record
+	for {
+		rec, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		records = append(records, rec)
+	}
+	ops, join := core.Join(records)
+	if len(ops) == 0 {
+		fatal(fmt.Errorf("no operations in trace"))
+	}
+	span := ops[len(ops)-1].T - ops[0].T
+	days := span / workload.Day
+	if days <= 0 {
+		days = 1.0 / 24
+	}
+
+	switch *kind {
+	case "summary":
+		s := analysis.Summarize(ops, days)
+		fmt.Println(s)
+		fmt.Printf("join: %d calls, %d replies, %d unmatched calls, %d orphan replies (loss est %.2f%%)\n",
+			join.Calls, join.Replies, join.UnmatchedCalls, join.OrphanReplies, 100*join.LossEstimate())
+	case "runs":
+		cfg := analysis.RunConfig{ReorderWindow: *window / 1000, IdleGap: 30, JumpBlocks: *jump}
+		tab := analysis.Tabulate(analysis.DetectRuns(ops, cfg))
+		fmt.Printf("runs=%d window=%.0fms k=%d\n", tab.TotalRuns, *window, *jump)
+		fmt.Printf("reads  %5.1f%% of runs: entire %5.1f%% seq %5.1f%% random %5.1f%%\n",
+			tab.ReadPct, tab.Read[0], tab.Read[1], tab.Read[2])
+		fmt.Printf("writes %5.1f%% of runs: entire %5.1f%% seq %5.1f%% random %5.1f%%\n",
+			tab.WritePct, tab.Write[0], tab.Write[1], tab.Write[2])
+		fmt.Printf("r-w    %5.1f%% of runs: entire %5.1f%% seq %5.1f%% random %5.1f%%\n",
+			tab.ReadWritePct, tab.ReadWrite[0], tab.ReadWrite[1], tab.ReadWrite[2])
+	case "blocklife":
+		res := analysis.BlockLife(ops, *start, *phase, *margin)
+		fmt.Printf("births=%d (writes %.1f%%, extension %.1f%%)\n",
+			res.Births, res.BirthPct(analysis.BirthWrite), res.BirthPct(analysis.BirthExtension))
+		fmt.Printf("deaths=%d (overwrite %.1f%%, truncate %.1f%%, delete %.1f%%)\n",
+			res.Deaths, res.DeathPct(analysis.DeathOverwrite),
+			res.DeathPct(analysis.DeathTruncate), res.DeathPct(analysis.DeathDelete))
+		fmt.Printf("end surplus %.1f%%; lifetime p50=%.1fs p90=%.1fs\n",
+			res.EndSurplusPct(), res.Lifetimes.Percentile(50), res.Lifetimes.Percentile(90))
+	case "hourly":
+		h := analysis.Hourly(ops, span)
+		for _, peak := range []bool{false, true} {
+			label := "all hours"
+			if peak {
+				label = "peak hours"
+			}
+			fmt.Printf("%s:\n", label)
+			for _, row := range h.VarianceTable(peak) {
+				fmt.Printf("  %-20s mean=%12.0f stddev=%5.0f%%\n", row.Name, row.Mean, 100*row.RelStddev)
+			}
+		}
+	case "names":
+		rep := analysis.AnalyzeNames(ops, ops[len(ops)-1].T)
+		for _, cs := range rep.PerCategory {
+			if cs.Created == 0 {
+				continue
+			}
+			fmt.Printf("%-10s created=%6d deleted=%6d life_p50=%8.2fs size_p98=%10.0fB\n",
+				cs.Category, cs.Created, cs.Deleted,
+				cs.Lifetimes.Percentile(50), cs.Sizes.Percentile(98))
+		}
+		fmt.Printf("locks %.1f%% of created-and-deleted; size prediction %.0f%%, lifetime prediction %.0f%%\n",
+			100*rep.LockFracOfDeleted, 100*rep.SizeAccuracy, 100*rep.LifeAccuracy)
+	case "hierarchy":
+		cov := analysis.CoverageAfterWarmup(ops, 600)
+		fmt.Printf("hierarchy coverage after 10min warmup: %.2f%%\n", 100*cov)
+	case "reorder":
+		pts := analysis.ReorderSweep(ops, []float64{0, 1, 2, 5, 10, 20, 50})
+		for _, p := range pts {
+			fmt.Printf("window %5.0fms: %.2f%% swapped\n", p.WindowMS, p.SwappedPct)
+		}
+	default:
+		fatal(fmt.Errorf("unknown analysis %q", *kind))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nfsanalyze:", err)
+	os.Exit(1)
+}

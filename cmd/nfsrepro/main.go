@@ -1,0 +1,121 @@
+// nfsrepro regenerates every table and figure of "Passive NFS Tracing
+// of Email and Research Workloads" (FAST 2003) from freshly simulated
+// CAMPUS and EECS traces, printing each alongside the paper's published
+// values.
+//
+// Usage:
+//
+//	nfsrepro                         # everything, default scale
+//	nfsrepro -table 3                # one table
+//	nfsrepro -figure 5               # one figure
+//	nfsrepro -exp readahead          # one side experiment
+//	nfsrepro -users 25 -clients 8    # bigger simulation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	users := flag.Int("users", 12, "CAMPUS user count")
+	clients := flag.Int("clients", 4, "EECS workstation count")
+	days := flag.Float64("days", 7, "trace window in days")
+	seed := flag.Int64("seed", 20011021, "random seed")
+	table := flag.Int("table", 0, "regenerate only this table (1-5)")
+	figure := flag.Int("figure", 0, "regenerate only this figure (1-5)")
+	exp := flag.String("exp", "", "side experiment: nfsiod, names, readahead, loss, hierarchy, nvram, quiet")
+	procs := flag.Bool("procs", false, "also print procedure mixes")
+	flag.Parse()
+
+	scale := repro.Scale{CampusUsers: *users, EECSClients: *clients, Days: *days, Seed: *seed}
+
+	// Experiments that do not need the full traces run immediately.
+	switch *exp {
+	case "nfsiod":
+		fmt.Print(repro.ExpNfsiod())
+		return
+	case "readahead":
+		fmt.Print(repro.ExpReadahead())
+		return
+	case "loss":
+		small := scale
+		if small.Days > 1 {
+			small.Days = 1
+		}
+		fmt.Print(repro.ExpLoss(small))
+		return
+	}
+
+	fmt.Fprintf(os.Stderr, "nfsrepro: generating CAMPUS (%d users) and EECS (%d clients), %.1f days...\n",
+		*users, *clients, *days)
+	start := time.Now()
+	campus := repro.GenerateCampus(scale)
+	eecs := repro.GenerateEECS(scale)
+	fmt.Fprintf(os.Stderr, "nfsrepro: %d + %d ops in %v\n",
+		len(campus.Ops), len(eecs.Ops), time.Since(start).Round(time.Millisecond))
+
+	switch *exp {
+	case "names":
+		fmt.Print(repro.ExpNames(campus))
+		return
+	case "nvram":
+		fmt.Print(repro.ExpNVRAM(campus, eecs))
+		return
+	case "quiet":
+		fmt.Print(repro.ExpQuiet(campus, eecs))
+		return
+	case "hierarchy":
+		fmt.Print(repro.ExpHierarchy(campus))
+		return
+	case "":
+	default:
+		fmt.Fprintf(os.Stderr, "nfsrepro: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+
+	tables := []func(*repro.Trace, *repro.Trace) string{
+		repro.Table1, repro.Table2, repro.Table3, repro.Table4, repro.Table5,
+	}
+	figures := []func(*repro.Trace, *repro.Trace) string{
+		repro.Figure1, repro.Figure2, repro.Figure3, repro.Figure4, repro.Figure5,
+	}
+
+	if *table != 0 {
+		if *table < 1 || *table > 5 {
+			fmt.Fprintln(os.Stderr, "nfsrepro: -table must be 1-5")
+			os.Exit(2)
+		}
+		fmt.Print(tables[*table-1](campus, eecs))
+		return
+	}
+	if *figure != 0 {
+		if *figure < 1 || *figure > 5 {
+			fmt.Fprintln(os.Stderr, "nfsrepro: -figure must be 1-5")
+			os.Exit(2)
+		}
+		fmt.Print(figures[*figure-1](campus, eecs))
+		return
+	}
+
+	if *procs {
+		fmt.Println(repro.TopProcs(campus))
+		fmt.Println(repro.TopProcs(eecs))
+	}
+	for _, fn := range tables {
+		fmt.Println(fn(campus, eecs))
+	}
+	for _, fn := range figures {
+		fmt.Println(fn(campus, eecs))
+	}
+	fmt.Println(repro.ExpNfsiod())
+	fmt.Println(repro.ExpNames(campus))
+	fmt.Println(repro.ExpReadahead())
+	fmt.Println(repro.ExpHierarchy(campus))
+	fmt.Println(repro.ExpNVRAM(campus, eecs))
+	fmt.Println(repro.ExpQuiet(campus, eecs))
+}

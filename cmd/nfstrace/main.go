@@ -1,0 +1,105 @@
+// nfstrace is the sniffer: it reads a pcap capture of NFS traffic and
+// emits timestamped trace records, one line per call and reply — the
+// reproduction of the paper's tcpdump-derived tracing software (§2).
+//
+// It decodes NFSv2 and NFSv3 over UDP (reassembling IP fragments) and
+// TCP (reassembling streams and RPC record marking), matches replies to
+// calls by transaction id, and can anonymize on the fly.
+//
+// Usage:
+//
+//	nfstrace -r capture.pcap -o trace.txt
+//	nfstrace -r capture.pcap -anonymize -seed 42 -mapfile anon.map
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/anon"
+	"repro/internal/capture"
+	"repro/internal/core"
+	"repro/internal/pcap"
+)
+
+func main() {
+	in := flag.String("r", "", "pcap file to read (required)")
+	out := flag.String("o", "", "trace output file (default stdout)")
+	anonymize := flag.Bool("anonymize", false, "anonymize records")
+	seed := flag.Int64("seed", 1, "anonymization seed")
+	mapFile := flag.String("mapfile", "", "save (and pre-load, if present) the anonymization tables here")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "nfstrace: -r is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	pr, err := pcap.NewReader(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		of, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer of.Close()
+		w = of
+	}
+	tw := core.NewWriter(w)
+
+	var anonymizer *anon.Anonymizer
+	if *anonymize {
+		anonymizer = anon.New(anon.DefaultConfig(*seed))
+		if *mapFile != "" {
+			if mf, err := os.Open(*mapFile); err == nil {
+				if err := anonymizer.Load(mf); err != nil {
+					fatal(fmt.Errorf("loading %s: %w", *mapFile, err))
+				}
+				mf.Close()
+			}
+		}
+	}
+
+	sn := capture.NewSniffer(func(rec *core.Record) {
+		if err := tw.Write(rec); err != nil {
+			fatal(err)
+		}
+	})
+	sn.Anon = anonymizer
+	if err := sn.ReadPcap(pr); err != nil {
+		fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		fatal(err)
+	}
+
+	if anonymizer != nil && *mapFile != "" {
+		mf, err := os.Create(*mapFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := anonymizer.Save(mf); err != nil {
+			fatal(err)
+		}
+		mf.Close()
+	}
+
+	s := sn.Stats
+	fmt.Fprintf(os.Stderr,
+		"nfstrace: %d packets, %d calls, %d replies, %d orphan replies (loss est %.2f%%), %d decode errors\n",
+		s.Packets, s.Calls, s.Replies, s.OrphanReplies, 100*s.LossEstimate(), s.DecodeErrors)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nfstrace:", err)
+	os.Exit(1)
+}

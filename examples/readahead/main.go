@@ -1,0 +1,52 @@
+// Read-ahead example: the paper's §6.4 experiment, runnable.
+//
+// An NFS server sees large sequential reads whose requests arrive
+// slightly reordered by client-side nfsiods. The classic strict
+// heuristic (prefetch only while each request begins exactly where the
+// last ended) collapses under reordering; the paper's
+// sequentiality-metric heuristic keeps prefetching and wins.
+//
+//	go run ./examples/readahead
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/server"
+)
+
+func main() {
+	fmt.Println("20 files x 4MB sequential reads, varying reordering:")
+	fmt.Printf("%10s %12s %12s %12s %10s\n",
+		"reordered", "none MB/s", "strict MB/s", "metric MB/s", "metric win")
+	for _, p := range []float64{0, 0.02, 0.05, 0.10, 0.20} {
+		reqs := makeRequests(20, 512, p, 7)
+		none := server.RunReadPath(reqs, server.NoReadAhead{}, 4096)
+		strict := server.RunReadPath(reqs, server.NewStrictSequential(8), 4096)
+		metric := server.RunReadPath(reqs, server.NewMetricReadAhead(), 4096)
+		fmt.Printf("%9.0f%% %12.1f %12.1f %12.1f %9.1f%%\n",
+			p*100, none.Throughput/1e6, strict.Throughput/1e6, metric.Throughput/1e6,
+			100*(metric.Throughput/strict.Throughput-1))
+	}
+	fmt.Println("\npaper: ~10% reordering on a loaded system; metric heuristic >5% faster")
+}
+
+// makeRequests builds per-file sequential block reads, then swaps
+// adjacent pairs with probability p (the nfsiod effect).
+func makeRequests(files int, blocksPerFile int64, p float64, seed int64) []server.ReadRequest {
+	rng := rand.New(rand.NewSource(seed))
+	var reqs []server.ReadRequest
+	for f := 1; f <= files; f++ {
+		start := len(reqs)
+		for b := int64(0); b < blocksPerFile; b++ {
+			reqs = append(reqs, server.ReadRequest{File: uint64(f), Block: b, NBlocks: 1})
+		}
+		for i := start; i < len(reqs)-1; i++ {
+			if rng.Float64() < p {
+				reqs[i], reqs[i+1] = reqs[i+1], reqs[i]
+			}
+		}
+	}
+	return reqs
+}

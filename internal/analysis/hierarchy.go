@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Hierarchy reconstructs the active part of the server's namespace
+// on the fly from lookup/create/rename traffic, as §4.1.1 describes:
+// after a few minutes of trace, almost every handle's parent is known.
+type Hierarchy struct {
+	// parent maps a file handle to its (parent handle, name) edge.
+	parent map[string]edge
+	// known tracks handles seen in any position.
+	known map[string]bool
+
+	// Coverage counters: of the ops naming a primary handle, how many
+	// had that handle already resolvable to a path.
+	resolvable int64
+	total      int64
+}
+
+type edge struct {
+	dir  string
+	name string
+}
+
+// NewHierarchy returns an empty namespace model.
+func NewHierarchy() *Hierarchy {
+	return &Hierarchy{parent: make(map[string]edge), known: make(map[string]bool)}
+}
+
+// Observe feeds one op through the reconstruction, updating edges and
+// coverage statistics. Ops must be fed in trace order.
+func (h *Hierarchy) Observe(op *core.Op) {
+	// Coverage check first: is this op's handle already placeable?
+	if op.FH != "" {
+		h.total++
+		if h.known[op.FH] {
+			h.resolvable++
+		}
+	}
+	switch op.Proc {
+	case "lookup", "create", "mkdir", "symlink":
+		if op.NewFH != "" && op.Name != "" {
+			h.parent[op.NewFH] = edge{dir: op.FH, name: op.Name}
+			h.known[op.NewFH] = true
+			h.known[op.FH] = true
+		}
+	case "rename":
+		// Find the moved handle via the old edge if we have it.
+		for fh, e := range h.parent {
+			if e.dir == op.FH && e.name == op.Name {
+				h.parent[fh] = edge{dir: op.FH2, name: op.Name2}
+				break
+			}
+		}
+	case "remove", "rmdir":
+		for fh, e := range h.parent {
+			if e.dir == op.FH && e.name == op.Name {
+				delete(h.parent, fh)
+				break
+			}
+		}
+	default:
+		if op.FH != "" {
+			h.known[op.FH] = true
+		}
+	}
+}
+
+// Path reconstructs the name of a handle from known edges, ending at a
+// handle with no known parent (rendered as its hex form). ok is false
+// when fh itself is unknown.
+func (h *Hierarchy) Path(fh string) (string, bool) {
+	if !h.known[fh] {
+		return "", false
+	}
+	var parts []string
+	cur := fh
+	for depth := 0; depth < 64; depth++ {
+		e, ok := h.parent[cur]
+		if !ok {
+			break
+		}
+		parts = append([]string{e.name}, parts...)
+		cur = e.dir
+	}
+	return "[" + cur + "]/" + strings.Join(parts, "/"), true
+}
+
+// Coverage reports the fraction of handle-bearing ops whose handle was
+// already known when the op arrived.
+func (h *Hierarchy) Coverage() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.resolvable) / float64(h.total)
+}
+
+// Edges reports the number of known parent edges.
+func (h *Hierarchy) Edges() int { return len(h.parent) }
+
+// CoverageAfterWarmup runs the reconstruction over ops, ignoring the
+// first warmup seconds, and returns the post-warmup coverage — the
+// paper's claim is that this approaches 1 within minutes.
+func CoverageAfterWarmup(ops []*core.Op, warmup float64) float64 {
+	if len(ops) == 0 {
+		return 0
+	}
+	start := ops[0].T + warmup
+	h := NewHierarchy()
+	var resolvable, total int64
+	for _, op := range ops {
+		if op.T >= start && op.FH != "" {
+			total++
+			if h.known[op.FH] {
+				resolvable++
+			}
+		}
+		h.Observe(op)
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(resolvable) / float64(total)
+}

@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSummarize(t *testing.T) {
+	ops := []*core.Op{
+		{Proc: "read", Replied: true, RCount: 8192},
+		{Proc: "read", Replied: true, RCount: 8192},
+		{Proc: "read", Replied: true, RCount: 8192},
+		{Proc: "write", Replied: true, RCount: 4096},
+		{Proc: "getattr", Replied: true},
+		{Proc: "lookup", Replied: true},
+	}
+	s := Summarize(ops, 2)
+	if s.TotalOps != 6 || s.ReadOps != 3 || s.WriteOps != 1 || s.MetadataOps != 2 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if s.BytesRead != 3*8192 || s.BytesWritten != 4096 {
+		t.Fatalf("bytes: %+v", s)
+	}
+	if s.ReadWriteByteRatio() != 6 || s.ReadWriteOpRatio() != 3 {
+		t.Fatalf("ratios: %v %v", s.ReadWriteByteRatio(), s.ReadWriteOpRatio())
+	}
+	if s.Daily(6) != 3 {
+		t.Fatalf("daily: %v", s.Daily(6))
+	}
+	if s.MetadataFraction() != 2.0/6 {
+		t.Fatalf("meta frac: %v", s.MetadataFraction())
+	}
+	if s.ProcCounts["read"] != 3 {
+		t.Fatalf("proc counts: %v", s.ProcCounts)
+	}
+	if s.String() == "" {
+		t.Fatal("empty string render")
+	}
+}
+
+func TestHourlyAndVariance(t *testing.T) {
+	var ops []*core.Op
+	// Weekdays 1–5: heavy during 9-18, light at night; reads 3× writes
+	// during the day. Weekend left idle.
+	day := 86400.0
+	for d := 1; d <= 5; d++ {
+		for h := 0; h < 24; h++ {
+			n := 2
+			if h >= 9 && h < 18 {
+				n = 55 + (h*7+d*3)%10 // busy, with mild hour-to-hour jitter
+			}
+			for i := 0; i < n; i++ {
+				tt := float64(d)*day + float64(h)*3600 + float64(i)*30
+				ops = append(ops, &core.Op{T: tt, Proc: "read", Replied: true, RCount: 8192})
+				if i%3 == 0 {
+					ops = append(ops, &core.Op{T: tt + 1, Proc: "write", Replied: true, RCount: 8192})
+				}
+			}
+		}
+	}
+	h := Hourly(ops, 7*day)
+	if h.Ops.NumBuckets() != 168 {
+		t.Fatalf("buckets %d", h.Ops.NumBuckets())
+	}
+	// Peak-only variance must be far below all-hours variance.
+	all := h.VarianceTable(false)
+	peak := h.VarianceTable(true)
+	var allOps, peakOps VarianceRow
+	for i := range all {
+		if all[i].Name == "total_ops" {
+			allOps, peakOps = all[i], peak[i]
+		}
+	}
+	if peakOps.Mean <= allOps.Mean {
+		t.Fatalf("peak mean %v not above all-hours mean %v", peakOps.Mean, allOps.Mean)
+	}
+	if allOps.RelStddev < 2*peakOps.RelStddev {
+		t.Fatalf("variance reduction too small: all=%.2f peak=%.2f",
+			allOps.RelStddev, peakOps.RelStddev)
+	}
+	red := h.VarianceReduction()
+	if red["total_ops"] < 2 {
+		t.Fatalf("reduction map: %v", red)
+	}
+	// The ratio series has the right shape: ~3 during peak.
+	ratios := h.RWRatios()
+	if r := ratios[24+10]; r < 2 || r > 4 {
+		t.Fatalf("10am ratio %v", r)
+	}
+}
+
+func TestCategorize(t *testing.T) {
+	cases := map[string]NameCategory{
+		"inbox.lock":       CatLock,
+		"lock":             CatLock,
+		".pinerc":          CatDot,
+		".cshrc":           CatDot,
+		"pico.000123":      CatComposer,
+		"Applet_7_Extern":  CatComposer,
+		"#draft":           CatComposer,
+		"inbox":            CatMailbox,
+		"saved-messages":   CatMailbox,
+		"mod01.c":          CatSource,
+		"paper.tex":        CatSource,
+		"paper.tex~":       CatTemp,
+		"mod01.o":          CatTemp,
+		"run00001.out":     CatTemp,
+		"cache0A1B2C3D.gz": CatOther,
+		"":                 CatOther,
+	}
+	for name, want := range cases {
+		if got := Categorize(name); got != want {
+			t.Errorf("Categorize(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestAnalyzeNames(t *testing.T) {
+	var ops []*core.Op
+	// 10 locks: created and deleted within 0.2s, zero length.
+	for i := 0; i < 10; i++ {
+		t0 := float64(i) * 10
+		fh := "lock" + string(rune('a'+i))
+		ops = append(ops,
+			&core.Op{T: t0, Replied: true, Proc: "create", FH: "dir",
+				Name: "inbox.lock", NewFH: fh, Size: 0},
+			&core.Op{T: t0 + 0.2, Replied: true, Proc: "remove", FH: "dir", Name: "inbox.lock"},
+		)
+	}
+	// One composer file, 4 KB, deleted after 30s.
+	ops = append(ops,
+		&core.Op{T: 200, Replied: true, Proc: "create", FH: "dir", Name: "pico.000001", NewFH: "comp", Size: 0},
+		&core.Op{T: 201, Replied: true, Proc: "write", FH: "comp", Offset: 0, Count: 4096, RCount: 4096, Size: 4096},
+		&core.Op{T: 230, Replied: true, Proc: "remove", FH: "dir", Name: "pico.000001"},
+	)
+	// A mailbox that lives on.
+	ops = append(ops,
+		&core.Op{T: 300, Replied: true, Proc: "create", FH: "dir", Name: "inbox", NewFH: "mbox", Size: 0},
+		&core.Op{T: 301, Replied: true, Proc: "write", FH: "mbox", Offset: 0, Count: 8192, RCount: 8192, Size: 3 << 20},
+	)
+	rep := AnalyzeNames(ops, 1000)
+
+	locks := rep.PerCategory[CatLock]
+	if locks.Created != 10 || locks.Deleted != 10 {
+		t.Fatalf("locks: %+v", locks)
+	}
+	if m := locks.Lifetimes.Median(); m < 0.19 || m > 0.21 {
+		t.Fatalf("lock lifetime median %v", m)
+	}
+	if locks.Sizes.Percentile(99) != 0 {
+		t.Fatalf("locks not zero length: %v", locks.Sizes.Percentile(99))
+	}
+	if rep.CreatedAndDeleted != 11 {
+		t.Fatalf("created+deleted %d", rep.CreatedAndDeleted)
+	}
+	if rep.LockFracOfDeleted < 0.9 {
+		t.Fatalf("lock fraction %v, want ~10/11", rep.LockFracOfDeleted)
+	}
+	comp := rep.PerCategory[CatComposer]
+	if comp.Created != 1 || comp.Deleted != 1 {
+		t.Fatalf("composer: %+v", comp)
+	}
+	// Categories predict classes perfectly in this toy set.
+	if rep.SizeAccuracy < 0.99 || rep.LifeAccuracy < 0.99 {
+		t.Fatalf("accuracy: size=%v life=%v", rep.SizeAccuracy, rep.LifeAccuracy)
+	}
+}
+
+func TestTopNames(t *testing.T) {
+	ops := []*core.Op{
+		{Name: "inbox.lock"}, {Name: "inbox.lock"}, {Name: "inbox.lock"},
+		{Name: "inbox"}, {Name: "inbox"},
+		{Name: ".pinerc"},
+	}
+	top := TopNames(ops, 2)
+	if len(top) != 2 || top[0] != "inbox.lock" || top[1] != "inbox" {
+		t.Fatalf("top: %v", top)
+	}
+}
+
+func TestHierarchyReconstruction(t *testing.T) {
+	h := NewHierarchy()
+	ops := []*core.Op{
+		{Proc: "lookup", FH: "root", Name: "home", NewFH: "home", Replied: true},
+		{Proc: "lookup", FH: "home", Name: "u1", NewFH: "u1dir", Replied: true},
+		{Proc: "create", FH: "u1dir", Name: "inbox", NewFH: "mbox", Replied: true},
+		{Proc: "read", FH: "mbox", Replied: true},
+	}
+	for _, op := range ops {
+		h.Observe(op)
+	}
+	path, ok := h.Path("mbox")
+	if !ok || path != "[root]/home/u1/inbox" {
+		t.Fatalf("path = %q ok=%v", path, ok)
+	}
+	if h.Edges() != 3 {
+		t.Fatalf("edges %d", h.Edges())
+	}
+
+	// Rename moves the edge.
+	h.Observe(&core.Op{Proc: "rename", FH: "u1dir", Name: "inbox",
+		FH2: "u1dir", Name2: "mbox-old", Replied: true})
+	path, _ = h.Path("mbox")
+	if path != "[root]/home/u1/mbox-old" {
+		t.Fatalf("after rename: %q", path)
+	}
+	// Remove drops it.
+	h.Observe(&core.Op{Proc: "remove", FH: "u1dir", Name: "mbox-old", Replied: true})
+	if _, ok := h.Path("mbox"); ok {
+		if p, _ := h.Path("mbox"); p == "[root]/home/u1/mbox-old" {
+			t.Fatal("edge survived remove")
+		}
+	}
+}
+
+func TestHierarchyCoverageGrows(t *testing.T) {
+	// Simulate lookups introducing handles, then repeated access: the
+	// post-warmup coverage should be near 1.
+	var ops []*core.Op
+	for i := 0; i < 50; i++ {
+		fh := "file" + string(rune('A'+i%26)) + string(rune('a'+i/26))
+		ops = append(ops, &core.Op{T: float64(i), Proc: "lookup",
+			FH: "root", Name: "f" + fh, NewFH: fh, Replied: true})
+	}
+	for i := 0; i < 500; i++ {
+		fh := "file" + string(rune('A'+i%26)) + string(rune('a'+(i/26)%2))
+		ops = append(ops, &core.Op{T: 50 + float64(i), Proc: "read", FH: fh, Replied: true})
+	}
+	cov := CoverageAfterWarmup(ops, 50)
+	if cov < 0.99 {
+		t.Fatalf("coverage %v", cov)
+	}
+}

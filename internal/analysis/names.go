@@ -1,0 +1,300 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Filename-based attribute prediction (§6.3): nearly all CAMPUS files
+// fall into four categories — lock files, dot files, mail-composer
+// files, and mailboxes — and the name predicts size, lifespan, and
+// access pattern.
+
+// File categories.
+type NameCategory int
+
+// Category values.
+const (
+	CatLock NameCategory = iota
+	CatDot
+	CatComposer
+	CatMailbox
+	CatTemp
+	CatSource
+	CatOther
+	numCategories
+)
+
+var categoryNames = [numCategories]string{
+	"lock", "dot", "composer", "mailbox", "temp", "source", "other",
+}
+
+// Name reports the category's display name.
+func (c NameCategory) String() string { return categoryNames[c] }
+
+// Categorize assigns a filename to its category using only the last
+// pathname component, as the paper does.
+func Categorize(name string) NameCategory {
+	switch {
+	case name == "":
+		return CatOther
+	case strings.HasSuffix(name, ".lock") || name == "lock" || strings.Contains(name, "lock"):
+		return CatLock
+	case strings.HasPrefix(name, "."):
+		return CatDot
+	case strings.HasPrefix(name, "pico.") || strings.HasPrefix(name, "#") ||
+		strings.HasPrefix(name, "Applet_"):
+		return CatComposer
+	case name == "inbox" || name == "mbox" || name == "saved-messages" ||
+		name == "sent-mail" || strings.HasSuffix(name, ".mbox"):
+		return CatMailbox
+	case strings.HasSuffix(name, "~") || strings.HasSuffix(name, ".tmp") ||
+		strings.HasSuffix(name, ".o") || strings.HasSuffix(name, ".out"):
+		return CatTemp
+	case strings.HasSuffix(name, ".c") || strings.HasSuffix(name, ".h") ||
+		strings.HasSuffix(name, ".tex") || strings.HasSuffix(name, ".txt"):
+		return CatSource
+	default:
+		return CatOther
+	}
+}
+
+// fileLife tracks one file instance from creation.
+type fileLife struct {
+	name    string
+	cat     NameCategory
+	born    float64
+	died    float64
+	deleted bool
+	maxSize uint64
+	reads   int64
+	writes  int64
+	readSeq bool
+}
+
+// CategoryStats summarizes one category's observed behaviour.
+type CategoryStats struct {
+	Category NameCategory
+	// Created and Deleted count file instances created (and of those,
+	// deleted) inside the window.
+	Created int64
+	Deleted int64
+	// Lifetimes of created-and-deleted instances (seconds).
+	Lifetimes *stats.CDF
+	// Sizes are the max observed sizes of created instances.
+	Sizes *stats.CDF
+	// ReadFrac is reads/(reads+writes) across instances.
+	ReadOps, WriteOps int64
+}
+
+// NameReport is the full §6.3 output.
+type NameReport struct {
+	PerCategory [numCategories]*CategoryStats
+	// CreatedAndDeleted counts instances both created and deleted in
+	// the window; LockFracOfDeleted is the share of those that are
+	// locks (96% on CAMPUS).
+	CreatedAndDeleted int64
+	LockFracOfDeleted float64
+	// SizeAccuracy and LifeAccuracy report how well the category
+	// (i.e. the filename) predicts the file's size class and lifetime
+	// class: the fraction of instances whose class equals their
+	// category's modal class.
+	SizeAccuracy float64
+	LifeAccuracy float64
+}
+
+// sizeClass buckets a size into one of a few coarse classes (zero, one
+// block, small, large) — the granularity a file system would act on.
+func sizeClass(size uint64) int {
+	switch {
+	case size == 0:
+		return 0
+	case size <= 8*1024:
+		return 1
+	case size <= 64*1024:
+		return 2
+	case size <= 1<<20:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// lifeClass buckets a lifetime: sub-second, sub-minute, sub-hour, long.
+func lifeClass(life float64) int {
+	switch {
+	case life < 1:
+		return 0
+	case life < 60:
+		return 1
+	case life < 3600:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// AnalyzeNames builds the §6.3 report from a joined op stream.
+func AnalyzeNames(ops []*core.Op, windowEnd float64) *NameReport {
+	// Track file instances created in the window.
+	lives := make(map[string]*fileLife) // by NewFH
+	names := make(map[string]string)    // (dir,name) → fh
+	var done []*fileLife
+
+	key := func(dir, name string) string { return dir + "\x00" + name }
+	for _, op := range ops {
+		switch op.Proc {
+		case "create", "mkdir", "symlink":
+			if op.NewFH == "" {
+				continue
+			}
+			// Recreating a name orphans any previous instance.
+			names[key(op.FH, op.Name)] = op.NewFH
+			if _, exists := lives[op.NewFH]; !exists {
+				lives[op.NewFH] = &fileLife{
+					name: op.Name, cat: Categorize(op.Name),
+					born: op.T, maxSize: op.Size, readSeq: true,
+				}
+			}
+		case "lookup":
+			if op.NewFH != "" {
+				names[key(op.FH, op.Name)] = op.NewFH
+			}
+		case "rename":
+			k := key(op.FH, op.Name)
+			if fh, ok := names[k]; ok {
+				delete(names, k)
+				names[key(op.FH2, op.Name2)] = fh
+			}
+		case "remove":
+			fh, ok := names[key(op.FH, op.Name)]
+			if !ok {
+				continue
+			}
+			delete(names, key(op.FH, op.Name))
+			if fl, ok := lives[fh]; ok {
+				fl.died = op.T
+				fl.deleted = true
+				done = append(done, fl)
+				delete(lives, fh)
+			}
+		case "write":
+			if fl, ok := lives[op.FH]; ok {
+				fl.writes++
+				if op.Size > fl.maxSize {
+					fl.maxSize = op.Size
+				}
+			}
+		case "read":
+			if fl, ok := lives[op.FH]; ok {
+				fl.reads++
+				if op.Size > fl.maxSize {
+					fl.maxSize = op.Size
+				}
+			}
+		case "setattr":
+			if fl, ok := lives[op.FH]; ok && op.Size > fl.maxSize {
+				fl.maxSize = op.Size
+			}
+		}
+	}
+	// Instances still alive at window end.
+	for _, fl := range lives {
+		fl.died = windowEnd
+		done = append(done, fl)
+	}
+
+	rep := &NameReport{}
+	for c := 0; c < int(numCategories); c++ {
+		rep.PerCategory[c] = &CategoryStats{
+			Category:  NameCategory(c),
+			Lifetimes: &stats.CDF{},
+			Sizes:     &stats.CDF{},
+		}
+	}
+	var lockDeleted, totalDeleted int64
+	// Per-category class histograms for the prediction experiment.
+	var sizeHist [numCategories][5]int64
+	var lifeHist [numCategories][4]int64
+	for _, fl := range done {
+		cs := rep.PerCategory[fl.cat]
+		cs.Created++
+		cs.Sizes.Add(float64(fl.maxSize))
+		cs.ReadOps += fl.reads
+		cs.WriteOps += fl.writes
+		sizeHist[fl.cat][sizeClass(fl.maxSize)]++
+		if fl.deleted {
+			cs.Deleted++
+			totalDeleted++
+			life := fl.died - fl.born
+			cs.Lifetimes.Add(life)
+			lifeHist[fl.cat][lifeClass(life)]++
+			if fl.cat == CatLock {
+				lockDeleted++
+			}
+		}
+	}
+	rep.CreatedAndDeleted = totalDeleted
+	if totalDeleted > 0 {
+		rep.LockFracOfDeleted = float64(lockDeleted) / float64(totalDeleted)
+	}
+
+	// Prediction accuracy: predict each instance's class as its
+	// category's modal class.
+	var sizeRight, sizeTotal, lifeRight, lifeTotal int64
+	for c := 0; c < int(numCategories); c++ {
+		if m, n := modal(sizeHist[c][:]); n > 0 {
+			sizeRight += sizeHist[c][m]
+			sizeTotal += n
+		}
+		if m, n := modal(lifeHist[c][:]); n > 0 {
+			lifeRight += lifeHist[c][m]
+			lifeTotal += n
+		}
+	}
+	if sizeTotal > 0 {
+		rep.SizeAccuracy = float64(sizeRight) / float64(sizeTotal)
+	}
+	if lifeTotal > 0 {
+		rep.LifeAccuracy = float64(lifeRight) / float64(lifeTotal)
+	}
+	return rep
+}
+
+func modal(hist []int64) (idx int, total int64) {
+	for i, v := range hist {
+		total += v
+		if v > hist[idx] {
+			idx = i
+		}
+	}
+	return idx, total
+}
+
+// TopNames returns the most frequently referenced filenames in the op
+// stream — useful for inspecting what dominates a workload.
+func TopNames(ops []*core.Op, n int) []string {
+	counts := make(map[string]int64)
+	for _, op := range ops {
+		if op.Name != "" {
+			counts[op.Name]++
+		}
+	}
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if counts[names[i]] != counts[names[j]] {
+			return counts[names[i]] > counts[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	if len(names) > n {
+		names = names[:n]
+	}
+	return names
+}

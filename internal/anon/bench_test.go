@@ -1,0 +1,43 @@
+package anon
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func BenchmarkNameHit(b *testing.B) {
+	a := New(DefaultConfig(1))
+	a.Name("thesis.tex") // warm the table
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Name("thesis.tex")
+	}
+}
+
+func BenchmarkNameMiss(b *testing.B) {
+	a := New(DefaultConfig(1))
+	names := make([]string, 4096)
+	for i := range names {
+		names[i] = fmt.Sprintf("file%06d.c", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Name(names[i%len(names)])
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	a := New(DefaultConfig(1))
+	rec := core.Record{
+		Kind: core.KindCall, Client: 0x0a000001, Server: 0x0a000002,
+		UID: 501, GID: 100, Name: "draft.txt", Proc: "lookup",
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := rec
+		a.Record(&r)
+	}
+}

@@ -1,0 +1,51 @@
+package capture
+
+import (
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/nfs"
+	"repro/internal/wire"
+)
+
+// BenchmarkSnifferUDP measures end-to-end packet decoding: Ethernet →
+// IP → UDP → RPC → NFS → record, the tracer's hot loop.
+func BenchmarkSnifferUDP(b *testing.B) {
+	c, _, pkts, srv := rig(nfs.V3, core.ProtoUDP, wire.JumboMTU)
+	driveWorkload(c, srv)
+	var n int64
+	for _, p := range pkts.packets {
+		n += int64(len(p.data))
+	}
+	b.SetBytes(n / int64(len(pkts.packets)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewSniffer(nil)
+		p := pkts.packets[i%len(pkts.packets)]
+		s.HandlePacket(p.t, p.data)
+	}
+}
+
+// BenchmarkSnifferTCPStream measures the TCP path including stream
+// reassembly and record-marking extraction.
+func BenchmarkSnifferTCPStream(b *testing.B) {
+	c, records, pkts, srv := rig(nfs.V3, core.ProtoTCP, wire.StandardMTU)
+	driveWorkload(c, srv)
+	want := len(records.Records)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got := 0
+		s := NewSniffer(func(*core.Record) { got++ })
+		for _, p := range pkts.packets {
+			s.HandlePacket(p.t, p.data)
+		}
+		if got != want {
+			b.Fatalf("decoded %d, want %d", got, want)
+		}
+	}
+}
+
+var _ = client.SliceSink{} // keep the import for the rig helper

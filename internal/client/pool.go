@@ -1,0 +1,99 @@
+// Package client simulates NFS clients: the nfsiod dispatch pool whose
+// scheduling reorders calls on the wire (§4.1.5 of the paper), the
+// weakly-consistent attribute and data caches that shape what an NFS
+// server actually sees (§4.1.3), and the translation of file operations
+// into timed NFS calls executed against a simulated server.
+package client
+
+import (
+	"math/rand"
+)
+
+// Pool models the client's nfsiod daemons. Application calls enter a
+// FIFO queue; each is picked up by the next free daemon, whose process
+// scheduling adds jitter. With one daemon the wire order always equals
+// issue order; with several, calls issued close together can swap —
+// the paper measured up to 10% swapped calls and delays up to a second.
+type Pool struct {
+	// Daemons is the number of nfsiods (1 disables reordering).
+	Daemons int
+	// SchedJitter is the mean of the exponential per-dispatch
+	// scheduling delay in seconds.
+	SchedJitter float64
+	// StallProb is the probability a dispatch suffers a long scheduler
+	// stall, and StallMax bounds it (uniform). The paper observed
+	// delays as long as one second.
+	StallProb float64
+	StallMax  float64
+
+	rng  *rand.Rand
+	free []float64 // per-daemon next-free time
+}
+
+// NewPool builds a pool with the paper's observed characteristics:
+// scheduling jitter of ~30µs (which yields ~10% swapped calls for
+// back-to-back 50µs request spacing, the paper's extreme case) and rare
+// stalls that delay calls up to about a second end to end.
+func NewPool(daemons int, seed int64) *Pool {
+	if daemons < 1 {
+		daemons = 1
+	}
+	return &Pool{
+		Daemons:     daemons,
+		SchedJitter: 0.00003,
+		StallProb:   0.0003,
+		StallMax:    0.5,
+		rng:         rand.New(rand.NewSource(seed)),
+		free:        make([]float64, daemons),
+	}
+}
+
+// Dispatch assigns a wire time to a call issued at t. Calls must be
+// issued in nondecreasing time order.
+func (p *Pool) Dispatch(t float64) float64 {
+	// Pick the earliest-free daemon (small N; linear scan is fine).
+	best := 0
+	for i := 1; i < len(p.free); i++ {
+		if p.free[i] < p.free[best] {
+			best = i
+		}
+	}
+	start := t
+	if p.free[best] > start {
+		start = p.free[best]
+	}
+	delay := 0.0
+	if p.Daemons > 1 {
+		delay = p.rng.ExpFloat64() * p.SchedJitter
+		if p.rng.Float64() < p.StallProb {
+			delay += p.rng.Float64() * p.StallMax
+		}
+	}
+	wire := start + delay
+	// The daemon is busy for the send duration (~20µs of CPU/wire).
+	p.free[best] = wire + 0.00002
+	return wire
+}
+
+// MeasureReordering issues n calls spaced gap seconds apart and reports
+// the fraction of adjacent pairs that appear swapped on the wire. This
+// is the isolated-network experiment of §4.1.5.
+func MeasureReordering(daemons, n int, gap float64, seed int64) (swappedFrac float64, maxDelay float64) {
+	p := NewPool(daemons, seed)
+	wire := make([]float64, n)
+	t := 0.0
+	for i := 0; i < n; i++ {
+		wire[i] = p.Dispatch(t)
+		if d := wire[i] - t; d > maxDelay {
+			maxDelay = d
+		}
+		t += gap
+	}
+	swapped := 0
+	for i := 1; i < n; i++ {
+		if wire[i] < wire[i-1] {
+			swapped++
+		}
+	}
+	return float64(swapped) / float64(n-1), maxDelay
+}

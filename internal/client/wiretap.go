@@ -1,0 +1,159 @@
+package client
+
+import (
+	"repro/internal/core"
+	"repro/internal/nfs"
+	"repro/internal/rpc"
+	"repro/internal/wire"
+	"repro/internal/xdr"
+)
+
+// PacketSink receives fully framed packets with their wire times — the
+// input a real sniffer would see. Wire together with pcap.Writer to
+// produce capture files.
+type PacketSink interface {
+	Packet(t float64, frame []byte)
+}
+
+// WireTap attaches to a Client and emits byte-faithful packets for every
+// call and reply, over UDP (with IP fragmentation at the configured MTU)
+// or TCP (with RPC record marking and sequence numbers).
+type WireTap struct {
+	Sink PacketSink
+	// MTU controls UDP fragmentation (wire.StandardMTU or
+	// wire.JumboMTU).
+	MTU int
+
+	clientIP wire.IP
+	serverIP wire.IP
+	ipid     uint16
+	// TCP sequence state per direction.
+	cliSeq  uint32
+	srvSeq  uint32
+	synSent bool
+}
+
+// NewWireTap builds a tap for a client/server IP pair.
+func NewWireTap(sink PacketSink, clientIP, serverIP uint32, mtu int) *WireTap {
+	if mtu <= 0 {
+		mtu = wire.StandardMTU
+	}
+	return &WireTap{
+		Sink: sink, MTU: mtu,
+		clientIP: wire.IPFromUint32(clientIP),
+		serverIP: wire.IPFromUint32(serverIP),
+		cliSeq:   1000, srvSeq: 5000,
+	}
+}
+
+// NFSPort is the well-known NFS server port.
+const NFSPort = 2049
+
+// emitCall frames one RPC call message.
+func (w *WireTap) emitCall(t float64, proto byte, port uint16, xid, version, proc uint32,
+	uid, gid uint32, argsBytes []byte) {
+
+	cred := xdr.NewEncoder(64)
+	(&rpc.AuthSysBody{Stamp: uint32(t), MachineName: "client",
+		UID: uid, GID: gid, GIDs: []uint32{gid}}).Encode(cred)
+	e := xdr.NewEncoder(len(argsBytes) + 128)
+	rpc.EncodeCall(e, &rpc.CallHeader{
+		XID: xid, Program: rpc.ProgramNFS, Version: version, Proc: proc,
+		Cred: rpc.OpaqueAuth{Flavor: rpc.AuthSys, Body: cred.Bytes()},
+		Verf: rpc.OpaqueAuth{Flavor: rpc.AuthNone},
+		Args: argsBytes,
+	})
+	w.send(t, proto, true, port, e.Bytes())
+}
+
+// emitReply frames one RPC accepted/success reply message.
+func (w *WireTap) emitReply(t float64, proto byte, port uint16, xid uint32, resBytes []byte) {
+	e := xdr.NewEncoder(len(resBytes) + 64)
+	rpc.EncodeReply(e, &rpc.ReplyHeader{
+		XID: xid, ReplyStat: rpc.MsgAccepted, AcceptStat: rpc.Success,
+		Verf: rpc.OpaqueAuth{Flavor: rpc.AuthNone}, Results: resBytes,
+	})
+	w.send(t, proto, false, port, e.Bytes())
+}
+
+func (w *WireTap) send(t float64, proto byte, fromClient bool, port uint16, msg []byte) {
+	src, dst := w.clientIP, w.serverIP
+	sport, dport := port, uint16(NFSPort)
+	if !fromClient {
+		src, dst = dst, src
+		sport, dport = dport, sport
+	}
+	if proto == core.ProtoUDP {
+		w.ipid++
+		for _, frame := range wire.FragmentUDP(src, dst, sport, dport, w.ipid, msg, w.MTU) {
+			w.Sink.Packet(t, frame)
+		}
+		return
+	}
+	// TCP: open the connection lazily with a SYN in each direction so
+	// stream reassembly has a base sequence.
+	if !w.synSent {
+		w.synSent = true
+		w.Sink.Packet(t, wire.BuildTCP(w.clientIP, w.serverIP, port, NFSPort, 0,
+			w.cliSeq, 0, wire.FlagSYN, nil))
+		w.Sink.Packet(t, wire.BuildTCP(w.serverIP, w.clientIP, NFSPort, port, 0,
+			w.srvSeq, w.cliSeq+1, wire.FlagSYN|wire.FlagACK, nil))
+		w.cliSeq++
+		w.srvSeq++
+	}
+	marked := rpc.MarkRecord(msg)
+	// Segment to MSS-sized chunks.
+	mss := w.MTU - wire.IPv4HeaderLen - wire.TCPHeaderLen
+	for off := 0; off < len(marked); off += mss {
+		end := off + mss
+		if end > len(marked) {
+			end = len(marked)
+		}
+		seg := marked[off:end]
+		w.ipid++
+		if fromClient {
+			w.Sink.Packet(t, wire.BuildTCP(src, dst, sport, dport, w.ipid,
+				w.cliSeq, w.srvSeq, wire.FlagACK|wire.FlagPSH, seg))
+			w.cliSeq += uint32(len(seg))
+		} else {
+			w.Sink.Packet(t, wire.BuildTCP(src, dst, sport, dport, w.ipid,
+				w.srvSeq, w.cliSeq, wire.FlagACK|wire.FlagPSH, seg))
+			w.srvSeq += uint32(len(seg))
+		}
+	}
+}
+
+// EnableWireTap attaches packet emission to the client: records continue
+// to flow to its Sink, and packets flow to the tap.
+func (c *Client) EnableWireTap(tap *WireTap) {
+	c.tap = tap
+}
+
+// emitWire is called from roundTrip when a tap is attached.
+func (c *Client) emitWire(callT, replyT float64, version, proc uint32, args, res any, xid uint32) {
+	if c.tap == nil {
+		return
+	}
+	ea := xdr.NewEncoder(256)
+	if version == nfs.V3 {
+		if err := nfs.EncodeArgs3(ea, proc, args); err != nil {
+			return
+		}
+	} else {
+		if err := nfs.EncodeArgs2(ea, proc, args); err != nil {
+			return
+		}
+	}
+	c.tap.emitCall(callT, c.Proto, c.Port, xid, version, proc, c.UID, c.GID, ea.Bytes())
+	er := xdr.NewEncoder(256)
+	if version == nfs.V3 {
+		if err := nfs.EncodeRes3(er, proc, res); err != nil {
+			return
+		}
+	} else {
+		if err := nfs.EncodeRes2(er, proc, res); err != nil {
+			return
+		}
+	}
+	c.tap.emitReply(replyT, c.Proto, c.Port, xid, er.Bytes())
+}

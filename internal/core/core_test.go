@@ -1,0 +1,311 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleCall() *Record {
+	return &Record{
+		Time: 1003680000.004742, Kind: KindCall,
+		Client: 0x0a000005, Port: 801, Server: 0x0a000001, Proto: ProtoUDP,
+		XID: 0xa2f3, Version: 3, Proc: "read",
+		FH: "0000000000000007", Offset: 8192, Count: 8192,
+		UID: 501, GID: 100,
+	}
+}
+
+func sampleReply() *Record {
+	return &Record{
+		Time: 1003680000.005100, Kind: KindReply,
+		Client: 0x0a000005, Port: 801, Server: 0x0a000001, Proto: ProtoUDP,
+		XID: 0xa2f3, Version: 3, Proc: "read",
+		Status: 0, RCount: 8192, Size: 2 << 20, FileID: 7, EOF: false,
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	for _, r := range []*Record{sampleCall(), sampleReply()} {
+		line := r.Marshal()
+		got, err := UnmarshalRecord(line)
+		if err != nil {
+			t.Fatalf("unmarshal %q: %v", line, err)
+		}
+		if *got != *r {
+			t.Fatalf("round trip:\n got %+v\nwant %+v", got, r)
+		}
+	}
+}
+
+func TestRecordRoundTripAllFields(t *testing.T) {
+	r := &Record{
+		Time: 1.5, Kind: KindCall, Client: 1, Port: 2, Server: 3, Proto: ProtoTCP,
+		XID: 0xdeadbeef, Version: 2, Proc: "rename",
+		FH: "aa", Name: "old name.txt", FH2: "bb", Name2: "new=name",
+		Offset: 5, Count: 6, Stable: 2, SetSize: 0, HasSet: true,
+		UID: 7, GID: 8,
+	}
+	got, err := UnmarshalRecord(r.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *r {
+		t.Fatalf("\n got %+v\nwant %+v", got, r)
+	}
+
+	rep := &Record{
+		Time: 2.25, Kind: KindReply, Client: 1, Port: 2, Server: 3, Proto: ProtoTCP,
+		XID: 1, Version: 3, Proc: "setattr",
+		Status: 0, Size: 100, FileID: 42, Mtime: 123.456789,
+		PreSize: 9000, HasPre: true, NewFH: "cc", EOF: true,
+	}
+	got, err = UnmarshalRecord(rep.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *rep {
+		t.Fatalf("\n got %+v\nwant %+v", got, rep)
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	names := []string{
+		"plain", "with space", "tab\there", "new\nline",
+		"back\\slash", "eq=sign", "mixed \t\\= all",
+	}
+	for _, n := range names {
+		r := sampleCall()
+		r.Proc = "lookup"
+		r.Name = n
+		got, err := UnmarshalRecord(r.Marshal())
+		if err != nil {
+			t.Fatalf("%q: %v", n, err)
+		}
+		if got.Name != n {
+			t.Fatalf("name %q → %q", n, got.Name)
+		}
+	}
+}
+
+func TestEscapeQuick(t *testing.T) {
+	f := func(s string) bool { return unescape(escape(s)) == s }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"1.0 C",
+		"xxx C 1.2 3 U 5 3 read uid=0 gid=0",
+		"1.0 Z 1.2 3 U 5 3 read uid=0 gid=0",
+		"1.0 C 12 3 U 5 3 read uid=0 gid=0",    // client missing port
+		"1.0 C 1.2 3 U zz 3 read uid=0 gid=0x", // bad xid? zz invalid hex
+		"1.0 C 1.xyz 3 U 5 3 read uid=0",       // bad port
+		"1.0 C 1.2 zz@ U 5 3 read uid=0",       // bad server
+		"1.0 C 1.2 3 UU 5 3 read uid=0",        // bad proto
+		"1.0 C 1.2 3 U 5 vv read uid=0",        // bad version
+	}
+	for _, line := range bad {
+		if _, err := UnmarshalRecord(line); err == nil {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}
+
+func TestUnknownKeysIgnored(t *testing.T) {
+	line := sampleCall().Marshal() + " future=value flag"
+	got, err := UnmarshalRecord(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FH != "0000000000000007" {
+		t.Fatal("known fields lost")
+	}
+}
+
+func TestWriterReader(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	records := []*Record{sampleCall(), sampleReply()}
+	for _, r := range records {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 2 {
+		t.Fatalf("count %d", w.Count())
+	}
+	w.Flush()
+
+	// Inject comments and blanks.
+	text := "# trace header\n\n" + buf.String() + "\n# trailer\n"
+	got, err := ReadAll(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d records", len(got))
+	}
+	for i := range got {
+		if *got[i] != *records[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestWriteAllReadAll(t *testing.T) {
+	var records []*Record
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		r := sampleCall()
+		r.Time = float64(i) * 0.001
+		r.XID = rng.Uint32()
+		records = append(records, r)
+	}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 500 {
+		t.Fatalf("%d records", len(got))
+	}
+}
+
+func TestJoinMatchesCallReply(t *testing.T) {
+	call, reply := sampleCall(), sampleReply()
+	ops, stats := Join([]*Record{call, reply})
+	if len(ops) != 1 {
+		t.Fatalf("%d ops", len(ops))
+	}
+	op := ops[0]
+	if !op.Replied || op.RT != reply.Time || op.RCount != 8192 || op.Size != 2<<20 {
+		t.Fatalf("op: %+v", op)
+	}
+	if stats.Matched != 1 || stats.UnmatchedCalls != 0 || stats.OrphanReplies != 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if op.Bytes() != 8192 || !op.IsRead() || op.IsMetadata() {
+		t.Fatalf("derived: %+v", op)
+	}
+}
+
+func TestJoinLostReply(t *testing.T) {
+	call := sampleCall()
+	ops, stats := Join([]*Record{call})
+	if len(ops) != 1 || ops[0].Replied {
+		t.Fatalf("ops: %+v", ops)
+	}
+	if stats.UnmatchedCalls != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	// Lost reply still counts requested bytes.
+	if ops[0].Bytes() != 8192 {
+		t.Fatalf("bytes = %d", ops[0].Bytes())
+	}
+}
+
+func TestJoinOrphanReply(t *testing.T) {
+	reply := sampleReply()
+	ops, stats := Join([]*Record{reply})
+	if len(ops) != 0 {
+		t.Fatalf("ops from orphan: %d", len(ops))
+	}
+	if stats.OrphanReplies != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if stats.LossEstimate() <= 0 {
+		t.Fatal("loss estimate zero with orphan present")
+	}
+}
+
+func TestJoinRetransmittedCall(t *testing.T) {
+	call1 := sampleCall()
+	call2 := sampleCall()
+	call2.Time += 1.0 // retransmission
+	reply := sampleReply()
+	reply.Time += 1.1
+	ops, stats := Join([]*Record{call1, call2, reply})
+	if len(ops) != 1 {
+		t.Fatalf("%d ops", len(ops))
+	}
+	if ops[0].T != call1.Time {
+		t.Fatalf("kept duplicate's time %v", ops[0].T)
+	}
+	if stats.Calls != 2 || stats.Matched != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+func TestJoinDistinguishesClients(t *testing.T) {
+	// Same xid from two clients must not cross-match.
+	c1, c2 := sampleCall(), sampleCall()
+	c2.Client = 0x0a000006
+	r1 := sampleReply() // for c1
+	ops, stats := Join([]*Record{c1, c2, r1})
+	if stats.Matched != 1 || stats.UnmatchedCalls != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	matched := 0
+	for _, op := range ops {
+		if op.Replied {
+			matched++
+			if op.Client != c1.Client {
+				t.Fatal("reply matched to wrong client")
+			}
+		}
+	}
+	if matched != 1 {
+		t.Fatalf("matched ops = %d", matched)
+	}
+}
+
+func TestJoinOutputSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var records []*Record
+	for i := 0; i < 300; i++ {
+		c := sampleCall()
+		c.XID = uint32(i)
+		c.Time = float64(rng.Intn(1000)) * 0.01
+		records = append(records, c)
+	}
+	ops, _ := Join(records)
+	for i := 1; i < len(ops); i++ {
+		if ops[i-1].T > ops[i].T {
+			t.Fatalf("unsorted at %d: %v > %v", i, ops[i-1].T, ops[i].T)
+		}
+	}
+}
+
+func TestFilterOps(t *testing.T) {
+	var ops []*Op
+	for i := 0; i < 10; i++ {
+		ops = append(ops, &Op{T: float64(i)})
+	}
+	got := FilterOps(ops, 3, 7)
+	if len(got) != 4 || got[0].T != 3 || got[3].T != 6 {
+		t.Fatalf("filtered: %+v", got)
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	for proc, want := range map[string][3]bool{
+		"read":    {true, false, false},
+		"write":   {false, true, false},
+		"getattr": {false, false, true},
+		"lookup":  {false, false, true},
+	} {
+		op := &Op{Proc: proc}
+		if op.IsRead() != want[0] || op.IsWrite() != want[1] || op.IsMetadata() != want[2] {
+			t.Errorf("%s: classification wrong", proc)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Writer streams trace records to an io.Writer in the text format.
+type Writer struct {
+	w *bufio.Writer
+	n int64
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Write emits one record.
+func (tw *Writer) Write(r *Record) error {
+	if _, err := tw.w.WriteString(r.Marshal()); err != nil {
+		return err
+	}
+	if err := tw.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	tw.n++
+	return nil
+}
+
+// Count reports records written.
+func (tw *Writer) Count() int64 { return tw.n }
+
+// Flush drains buffered output.
+func (tw *Writer) Flush() error { return tw.w.Flush() }
+
+// Reader streams trace records from an io.Reader, skipping blank lines
+// and '#' comments.
+type Reader struct {
+	s    *bufio.Scanner
+	line int64
+}
+
+// NewReader wraps r. Lines up to 1 MB are supported (anonymized names
+// are bounded, but raw traces may carry long paths).
+func NewReader(r io.Reader) *Reader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &Reader{s: s}
+}
+
+// Next returns the next record, or io.EOF.
+func (tr *Reader) Next() (*Record, error) {
+	for tr.s.Scan() {
+		tr.line++
+		line := strings.TrimSpace(tr.s.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		r, err := UnmarshalRecord(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", tr.line, err)
+		}
+		return r, nil
+	}
+	if err := tr.s.Err(); err != nil {
+		return nil, err
+	}
+	return nil, io.EOF
+}
+
+// ReadAll slurps every record from r.
+func ReadAll(r io.Reader) ([]*Record, error) {
+	tr := NewReader(r)
+	var out []*Record
+	for {
+		rec, err := tr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// WriteAll writes every record to w.
+func WriteAll(w io.Writer, records []*Record) error {
+	tw := NewWriter(w)
+	for _, r := range records {
+		if err := tw.Write(r); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// FilterOps returns the ops within [from, to) seconds, preserving order.
+// Used to cut analysis windows (peak hours, single days) from a trace.
+func FilterOps(ops []*Op, from, to float64) []*Op {
+	var out []*Op
+	for _, op := range ops {
+		if op.T >= from && op.T < to {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// DetectSource wraps r in the appropriate reader by sniffing the
+// leading bytes: binary traces start with the NFSTRC magic, anything
+// else is treated as the text format.
+func DetectSource(r io.Reader) (RecordSource, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, err := br.Peek(8)
+	if err != nil && len(head) < 8 {
+		// Tiny input: let the text reader produce EOF or errors.
+		return NewReader(br), nil
+	}
+	if [8]byte(head) == binaryMagic {
+		return NewBinaryReader(br), nil
+	}
+	return NewReader(br), nil
+}
+
+// RecordWriter is the writing side shared by the text and binary
+// formats.
+type RecordWriter interface {
+	Write(*Record) error
+	Flush() error
+}
+
+// NewFormatWriter returns a text or binary writer.
+func NewFormatWriter(w io.Writer, binaryFormat bool) RecordWriter {
+	if binaryFormat {
+		return NewBinaryWriter(w)
+	}
+	return NewWriter(w)
+}

@@ -1,0 +1,189 @@
+package core
+
+// Op is one joined NFS operation: a call and (usually) its matched
+// reply. This is what every analysis in the paper consumes. Unmatched
+// calls — replies lost by the mirror port — have Replied == false, and
+// the analyses count them the way §4.1.4 describes.
+type Op struct {
+	T       float64 // call time
+	RT      float64 // reply time (0 when unreplied)
+	Replied bool
+
+	Client   uint32
+	Port     uint16
+	UID, GID uint32
+	Version  uint32
+	Proc     string
+
+	FH      string // primary handle (hex)
+	Name    string
+	FH2     string
+	Name2   string
+	Offset  uint64
+	Count   uint32 // requested
+	Stable  uint32
+	SetSize uint64
+	HasSet  bool
+
+	Status  uint32
+	RCount  uint32 // moved
+	Size    uint64 // post-op size
+	PreSize uint64
+	HasPre  bool
+	FileID  uint64
+	NewFH   string
+	EOF     bool
+}
+
+// IsRead reports a data read.
+func (o *Op) IsRead() bool { return o.Proc == "read" }
+
+// IsWrite reports a data write.
+func (o *Op) IsWrite() bool { return o.Proc == "write" }
+
+// IsMetadata reports a non-data operation.
+func (o *Op) IsMetadata() bool { return !o.IsRead() && !o.IsWrite() }
+
+// OK reports a successful replied operation.
+func (o *Op) OK() bool { return o.Replied && o.Status == 0 }
+
+// Bytes reports the bytes moved: the reply count when available,
+// otherwise the requested count (the convention the paper uses when the
+// reply was lost).
+func (o *Op) Bytes() uint64 {
+	if o.Replied && o.RCount != 0 {
+		return uint64(o.RCount)
+	}
+	if o.IsRead() || o.IsWrite() {
+		return uint64(o.Count)
+	}
+	return 0
+}
+
+// FromPair builds an Op from a call record and optional reply.
+func FromPair(call *Record, reply *Record) *Op {
+	op := &Op{
+		T:       call.Time,
+		Client:  call.Client,
+		Port:    call.Port,
+		UID:     call.UID,
+		GID:     call.GID,
+		Version: call.Version,
+		Proc:    call.Proc,
+		FH:      call.FH,
+		Name:    call.Name,
+		FH2:     call.FH2,
+		Name2:   call.Name2,
+		Offset:  call.Offset,
+		Count:   call.Count,
+		Stable:  call.Stable,
+		SetSize: call.SetSize,
+		HasSet:  call.HasSet,
+	}
+	if reply != nil {
+		op.Replied = true
+		op.RT = reply.Time
+		op.Status = reply.Status
+		op.RCount = reply.RCount
+		op.Size = reply.Size
+		op.PreSize = reply.PreSize
+		op.HasPre = reply.HasPre
+		op.FileID = reply.FileID
+		op.NewFH = reply.NewFH
+		op.EOF = reply.EOF
+	}
+	return op
+}
+
+// JoinStats reports what Join saw, feeding the §4.1.4 loss estimate.
+type JoinStats struct {
+	Calls          int64
+	Replies        int64
+	Matched        int64
+	UnmatchedCalls int64 // calls with no reply (reply lost or in-flight)
+	OrphanReplies  int64 // replies whose call was lost
+}
+
+// LossEstimate approximates the fraction of messages lost, following
+// the paper: an orphan reply implies a lost call, and an unmatched call
+// implies a lost reply (modulo calls still in flight at trace end).
+func (s JoinStats) LossEstimate() float64 {
+	total := s.Calls + s.Replies
+	if total == 0 {
+		return 0
+	}
+	lost := s.OrphanReplies + s.UnmatchedCalls
+	return float64(lost) / float64(total+s.OrphanReplies)
+}
+
+// Join matches call records to reply records by (client, port, xid) and
+// returns operations in call-time order. Records must be supplied in
+// trace order. A reply matches the most recent unmatched call with its
+// key; retransmitted calls reuse the earliest pending time, as the
+// paper's tracer did.
+func Join(records []*Record) ([]*Op, JoinStats) {
+	type key struct {
+		client uint32
+		port   uint16
+		xid    uint32
+	}
+	var stats JoinStats
+	pending := make(map[key]*Record)
+	var ops []*Op
+	flush := func(call *Record, reply *Record) {
+		ops = append(ops, FromPair(call, reply))
+	}
+	for _, r := range records {
+		k := key{r.Client, r.Port, r.XID}
+		switch r.Kind {
+		case KindCall:
+			stats.Calls++
+			if old, ok := pending[k]; ok {
+				// Duplicate xid (retransmission): keep the original
+				// call time; drop the duplicate.
+				_ = old
+				continue
+			}
+			pending[k] = r
+		case KindReply:
+			stats.Replies++
+			call, ok := pending[k]
+			if !ok {
+				stats.OrphanReplies++
+				continue
+			}
+			delete(pending, k)
+			stats.Matched++
+			flush(call, r)
+		}
+	}
+	for _, call := range pending {
+		stats.UnmatchedCalls++
+		flush(call, nil)
+	}
+	sortOpsByTime(ops)
+	return ops, stats
+}
+
+func sortOpsByTime(ops []*Op) {
+	// Insertion-friendly: records arrive nearly sorted, so a simple
+	// binary-insertion pass beats full sort in the common case. Fall
+	// back to library sort when disorder is large.
+	for i := 1; i < len(ops); i++ {
+		if ops[i-1].T <= ops[i].T {
+			continue
+		}
+		lo, hi := 0, i
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if ops[mid].T <= ops[i].T {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		op := ops[i]
+		copy(ops[lo+1:i+1], ops[lo:i])
+		ops[lo] = op
+	}
+}

@@ -1,0 +1,302 @@
+// Package core defines the trace record model at the heart of the
+// reproduction: the timestamped per-message records the sniffer emits
+// (one per NFS call and one per reply, as the paper's tcpdump-derived
+// tracer did), the joined call/reply operations the analyses consume,
+// and the text trace format used to store and exchange traces.
+//
+// The text format is one record per line, nfsdump-like:
+//
+//	<time> C <client>.<port> <server> <proto> <xid> <vers> <proc> k=v ...
+//	<time> R <client>.<port> <server> <proto> <xid> <vers> <proc> status=<n> k=v ...
+//
+// All integers are decimal except xid and file handles, which are hex.
+// Unknown keys are ignored on read, so the format is extensible.
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Direction of a record.
+const (
+	KindCall  = 'C'
+	KindReply = 'R'
+)
+
+// Transport protocol tags.
+const (
+	ProtoUDP = 'U'
+	ProtoTCP = 'T'
+)
+
+// Record is one traced NFS message (call or reply). Fields that do not
+// apply to a given procedure are zero.
+type Record struct {
+	Time    float64 // seconds since trace epoch
+	Kind    byte    // KindCall or KindReply
+	Client  uint32  // client IP (host order)
+	Port    uint16  // client port
+	Server  uint32  // server IP (host order)
+	Proto   byte    // ProtoUDP or ProtoTCP
+	XID     uint32
+	Version uint32
+	Proc    string // v3-vocabulary procedure name
+
+	// Call fields.
+	UID, GID uint32
+	FH       string // primary handle, hex
+	Name     string // name within FH
+	FH2      string // target dir for rename/link
+	Name2    string
+	Offset   uint64
+	Count    uint32 // requested bytes
+	Stable   uint32
+	SetSize  uint64 // setattr/create truncation target
+	HasSet   bool
+
+	// Reply fields.
+	Status  uint32
+	RCount  uint32 // bytes actually moved
+	Size    uint64 // post-op file size
+	FileID  uint64
+	Mtime   float64
+	PreSize uint64 // wcc pre-op size
+	HasPre  bool
+	NewFH   string // handle returned by lookup/create
+	EOF     bool
+}
+
+// ipString formats a host-order IP compactly as hex (shorter lines than
+// dotted quad; traces hold tens of millions of records).
+func ipString(v uint32) string { return strconv.FormatUint(uint64(v), 16) }
+
+func parseIP(s string) (uint32, error) {
+	v, err := strconv.ParseUint(s, 16, 32)
+	return uint32(v), err
+}
+
+// Marshal renders the record as one trace line (no trailing newline).
+func (r *Record) Marshal() string {
+	var b strings.Builder
+	b.Grow(160)
+	fmt.Fprintf(&b, "%.6f %c %s.%d %s %c %x %d %s",
+		r.Time, r.Kind, ipString(r.Client), r.Port, ipString(r.Server),
+		r.Proto, r.XID, r.Version, r.Proc)
+	kv := func(k, v string) {
+		b.WriteByte(' ')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(v)
+	}
+	if r.Kind == KindCall {
+		if r.FH != "" {
+			kv("fh", r.FH)
+		}
+		if r.Name != "" {
+			kv("name", escape(r.Name))
+		}
+		if r.FH2 != "" {
+			kv("fh2", r.FH2)
+		}
+		if r.Name2 != "" {
+			kv("name2", escape(r.Name2))
+		}
+		if r.Offset != 0 {
+			kv("off", strconv.FormatUint(r.Offset, 10))
+		}
+		if r.Count != 0 {
+			kv("count", strconv.FormatUint(uint64(r.Count), 10))
+		}
+		if r.Stable != 0 {
+			kv("stable", strconv.FormatUint(uint64(r.Stable), 10))
+		}
+		if r.HasSet {
+			kv("setsize", strconv.FormatUint(r.SetSize, 10))
+		}
+		kv("uid", strconv.FormatUint(uint64(r.UID), 10))
+		kv("gid", strconv.FormatUint(uint64(r.GID), 10))
+		return b.String()
+	}
+	kv("status", strconv.FormatUint(uint64(r.Status), 10))
+	if r.RCount != 0 {
+		kv("rcount", strconv.FormatUint(uint64(r.RCount), 10))
+	}
+	if r.Size != 0 {
+		kv("size", strconv.FormatUint(r.Size, 10))
+	}
+	if r.FileID != 0 {
+		kv("fileid", strconv.FormatUint(r.FileID, 10))
+	}
+	if r.Mtime != 0 {
+		kv("mtime", strconv.FormatFloat(r.Mtime, 'f', 6, 64))
+	}
+	if r.HasPre {
+		kv("presize", strconv.FormatUint(r.PreSize, 10))
+	}
+	if r.NewFH != "" {
+		kv("newfh", r.NewFH)
+	}
+	if r.EOF {
+		kv("eof", "1")
+	}
+	return b.String()
+}
+
+// escape protects spaces and control characters in filenames; the
+// anonymizer usually removes the need, but raw traces must round-trip.
+func escape(s string) string {
+	if !strings.ContainsAny(s, " \t\n\\=") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case ' ':
+			b.WriteString("\\s")
+		case '\t':
+			b.WriteString("\\t")
+		case '\n':
+			b.WriteString("\\n")
+		case '\\':
+			b.WriteString("\\\\")
+		case '=':
+			b.WriteString("\\e")
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+func unescape(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' || i == len(s)-1 {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		switch s[i] {
+		case 's':
+			b.WriteByte(' ')
+		case 't':
+			b.WriteByte('\t')
+		case 'n':
+			b.WriteByte('\n')
+		case 'e':
+			b.WriteByte('=')
+		case '\\':
+			b.WriteByte('\\')
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// UnmarshalRecord parses one trace line.
+func UnmarshalRecord(line string) (*Record, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 9 {
+		return nil, fmt.Errorf("core: short record (%d fields)", len(fields))
+	}
+	var r Record
+	var err error
+	if r.Time, err = strconv.ParseFloat(fields[0], 64); err != nil {
+		return nil, fmt.Errorf("core: bad time %q", fields[0])
+	}
+	if len(fields[1]) != 1 || (fields[1][0] != KindCall && fields[1][0] != KindReply) {
+		return nil, fmt.Errorf("core: bad kind %q", fields[1])
+	}
+	r.Kind = fields[1][0]
+	hostPort := strings.SplitN(fields[2], ".", 2)
+	if len(hostPort) != 2 {
+		return nil, fmt.Errorf("core: bad client %q", fields[2])
+	}
+	if r.Client, err = parseIP(hostPort[0]); err != nil {
+		return nil, fmt.Errorf("core: bad client ip %q", hostPort[0])
+	}
+	port, err := strconv.ParseUint(hostPort[1], 10, 16)
+	if err != nil {
+		return nil, fmt.Errorf("core: bad client port %q", hostPort[1])
+	}
+	r.Port = uint16(port)
+	if r.Server, err = parseIP(fields[3]); err != nil {
+		return nil, fmt.Errorf("core: bad server ip %q", fields[3])
+	}
+	if len(fields[4]) != 1 {
+		return nil, fmt.Errorf("core: bad proto %q", fields[4])
+	}
+	r.Proto = fields[4][0]
+	xid, err := strconv.ParseUint(fields[5], 16, 32)
+	if err != nil {
+		return nil, fmt.Errorf("core: bad xid %q", fields[5])
+	}
+	r.XID = uint32(xid)
+	vers, err := strconv.ParseUint(fields[6], 10, 32)
+	if err != nil {
+		return nil, fmt.Errorf("core: bad version %q", fields[6])
+	}
+	r.Version = uint32(vers)
+	r.Proc = fields[7]
+
+	for _, f := range fields[8:] {
+		eq := strings.IndexByte(f, '=')
+		if eq < 0 {
+			continue
+		}
+		k, v := f[:eq], f[eq+1:]
+		switch k {
+		case "fh":
+			r.FH = v
+		case "name":
+			r.Name = unescape(v)
+		case "fh2":
+			r.FH2 = v
+		case "name2":
+			r.Name2 = unescape(v)
+		case "off":
+			r.Offset, _ = strconv.ParseUint(v, 10, 64)
+		case "count":
+			c, _ := strconv.ParseUint(v, 10, 32)
+			r.Count = uint32(c)
+		case "stable":
+			s, _ := strconv.ParseUint(v, 10, 32)
+			r.Stable = uint32(s)
+		case "setsize":
+			r.SetSize, _ = strconv.ParseUint(v, 10, 64)
+			r.HasSet = true
+		case "uid":
+			u, _ := strconv.ParseUint(v, 10, 32)
+			r.UID = uint32(u)
+		case "gid":
+			g, _ := strconv.ParseUint(v, 10, 32)
+			r.GID = uint32(g)
+		case "status":
+			s, _ := strconv.ParseUint(v, 10, 32)
+			r.Status = uint32(s)
+		case "rcount":
+			c, _ := strconv.ParseUint(v, 10, 32)
+			r.RCount = uint32(c)
+		case "size":
+			r.Size, _ = strconv.ParseUint(v, 10, 64)
+		case "fileid":
+			r.FileID, _ = strconv.ParseUint(v, 10, 64)
+		case "mtime":
+			r.Mtime, _ = strconv.ParseFloat(v, 64)
+		case "presize":
+			r.PreSize, _ = strconv.ParseUint(v, 10, 64)
+			r.HasPre = true
+		case "newfh":
+			r.NewFH = v
+		case "eof":
+			r.EOF = v == "1"
+		}
+	}
+	return &r, nil
+}

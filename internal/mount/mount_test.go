@@ -1,0 +1,101 @@
+package mount
+
+import (
+	"testing"
+
+	"repro/internal/nfs"
+	"repro/internal/xdr"
+)
+
+func TestProcNames(t *testing.T) {
+	cases := map[uint32]string{
+		ProcNull: "null", ProcMnt: "mnt", ProcUmnt: "umnt",
+		ProcExport: "export", 99: "mnt-proc-99",
+	}
+	for proc, want := range cases {
+		if got := ProcName(proc); got != want {
+			t.Errorf("ProcName(%d) = %q, want %q", proc, got, want)
+		}
+	}
+}
+
+func TestMntArgsRoundTrip(t *testing.T) {
+	e := xdr.NewEncoder(64)
+	EncodeMntArgs(e, &MntArgs{DirPath: "/home02/u0001"})
+	got, err := DecodeMntArgs(e.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DirPath != "/home02/u0001" {
+		t.Fatalf("path %q", got.DirPath)
+	}
+}
+
+func TestMntResRoundTrip(t *testing.T) {
+	res := &MntRes{Status: OK, FH: nfs.MakeFH(42), Flavors: []uint32{1}}
+	e := xdr.NewEncoder(64)
+	EncodeMntRes(e, res)
+	got, err := DecodeMntRes(e.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != OK || !got.FH.Equal(res.FH) || len(got.Flavors) != 1 || got.Flavors[0] != 1 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestMntResError(t *testing.T) {
+	e := xdr.NewEncoder(16)
+	EncodeMntRes(e, &MntRes{Status: ErrNoEnt})
+	got, err := DecodeMntRes(e.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != ErrNoEnt || got.FH != nil {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestMntResMalformed(t *testing.T) {
+	if _, err := DecodeMntRes([]byte{0, 0}); err == nil {
+		t.Fatal("short body accepted")
+	}
+	// Hostile flavor count.
+	e := xdr.NewEncoder(64)
+	e.PutUint32(OK)
+	e.PutOpaque(nfs.MakeFH(1))
+	e.PutUint32(1000)
+	if _, err := DecodeMntRes(e.Bytes()); err == nil {
+		t.Fatal("hostile flavor count accepted")
+	}
+}
+
+func TestExportsTable(t *testing.T) {
+	x := NewExports()
+	x.Add("/home02/u0001", nfs.MakeFH(100))
+	x.Add("/home02/u0002", nfs.MakeFH(101))
+
+	res := x.Mnt("/home02/u0001")
+	if res.Status != OK {
+		t.Fatalf("mnt: %+v", res)
+	}
+	if id, _ := res.FH.FileID(); id != 100 {
+		t.Fatalf("fh id %d", id)
+	}
+	if res := x.Mnt("/not/exported"); res.Status != ErrNoEnt {
+		t.Fatalf("unexported mnt: %+v", res)
+	}
+
+	x.Mnt("/home02/u0001")
+	if n := x.ActiveMounts("/home02/u0001"); n != 2 {
+		t.Fatalf("active %d", n)
+	}
+	x.Umnt("/home02/u0001")
+	if n := x.ActiveMounts("/home02/u0001"); n != 1 {
+		t.Fatalf("after umnt %d", n)
+	}
+	x.Umnt("/never/mounted") // must not go negative
+	if n := x.ActiveMounts("/never/mounted"); n != 0 {
+		t.Fatalf("negative mounts: %d", n)
+	}
+}

@@ -1,0 +1,95 @@
+// Package netem emulates the network conditions that shaped the paper's
+// traces: the mirror-port bandwidth bottleneck that lost up to 10% of
+// packets during CAMPUS bursts (§4.1.4), plus simple latency/jitter/drop
+// links for the isolated-network nfsiod experiment (§4.1.5).
+package netem
+
+import (
+	"math/rand"
+)
+
+// MirrorPort models the single gigabit monitor port on a fully-switched
+// network. Traffic offered faster than the port drains queues in the
+// switch; when the queue overflows, the tracer never sees the packet.
+type MirrorPort struct {
+	// Rate is the port's drain rate in bytes/second.
+	Rate float64
+	// QueueBytes is the switch buffer dedicated to the mirror port.
+	QueueBytes float64
+
+	backlog float64
+	lastT   float64
+	offered int64
+	dropped int64
+}
+
+// NewMirrorPort returns a gigabit mirror port with a 256 KB buffer.
+func NewMirrorPort() *MirrorPort {
+	return &MirrorPort{Rate: 125e6, QueueBytes: 256 << 10}
+}
+
+// Offer presents a packet of size bytes at time t (seconds). It reports
+// whether the tracer captures the packet. Time must not go backwards.
+func (m *MirrorPort) Offer(t float64, size int) bool {
+	if t > m.lastT {
+		m.backlog -= (t - m.lastT) * m.Rate
+		if m.backlog < 0 {
+			m.backlog = 0
+		}
+		m.lastT = t
+	}
+	m.offered++
+	if m.backlog+float64(size) > m.QueueBytes {
+		m.dropped++
+		return false
+	}
+	m.backlog += float64(size)
+	return true
+}
+
+// LossRate reports the fraction of offered packets dropped so far.
+func (m *MirrorPort) LossRate() float64 {
+	if m.offered == 0 {
+		return 0
+	}
+	return float64(m.dropped) / float64(m.offered)
+}
+
+// Offered and Dropped report raw counters.
+func (m *MirrorPort) Offered() int64 { return m.offered }
+
+// Dropped reports the number of packets lost at the mirror port.
+func (m *MirrorPort) Dropped() int64 { return m.dropped }
+
+// Link models a point-to-point path with base latency, exponential
+// jitter, and independent random drop. Used for the isolated-network
+// experiments where the switch is not the bottleneck.
+type Link struct {
+	// Latency is the one-way base delay in seconds.
+	Latency float64
+	// Jitter is the mean of an added exponential delay (0 = none).
+	Jitter float64
+	// DropProb is the independent loss probability per packet.
+	DropProb float64
+
+	rng *rand.Rand
+}
+
+// NewLink builds a link with a deterministic random source.
+func NewLink(latency, jitter, dropProb float64, seed int64) *Link {
+	return &Link{Latency: latency, Jitter: jitter, DropProb: dropProb,
+		rng: rand.New(rand.NewSource(seed))}
+}
+
+// Send returns the arrival time for a packet sent at t, or ok=false if
+// the packet is dropped.
+func (l *Link) Send(t float64) (arrival float64, ok bool) {
+	if l.DropProb > 0 && l.rng.Float64() < l.DropProb {
+		return 0, false
+	}
+	d := l.Latency
+	if l.Jitter > 0 {
+		d += l.rng.ExpFloat64() * l.Jitter
+	}
+	return t + d, true
+}

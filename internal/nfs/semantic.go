@@ -1,0 +1,290 @@
+package nfs
+
+// The semantic layer decodes either protocol version into the compact,
+// version-neutral view the sniffer records: which object, which name,
+// what range. This is the NFS-level content of one nfsdump-style trace
+// record.
+
+// CallInfo is the semantic content of an NFS call.
+type CallInfo struct {
+	Version uint32
+	Proc    uint32 // in the numbering of Version
+	Name    string // procedure name, v3 vocabulary where shared
+
+	FH     FH     // primary handle (file or directory)
+	FName  string // name within FH for directory ops
+	FH2    FH     // target directory for RENAME/LINK
+	FName2 string // target name for RENAME/LINK
+
+	Offset uint64 // READ/WRITE/COMMIT offset
+	Count  uint32 // requested byte count
+	Stable uint32 // WRITE stability
+
+	SetSize *uint64 // SETATTR truncation target, if any
+}
+
+// ReplyInfo is the semantic content of an NFS reply.
+type ReplyInfo struct {
+	Version uint32
+	Proc    uint32
+	Name    string
+
+	Status  uint32
+	Attr    *Fattr // attributes of the primary object, when present
+	NewFH   FH     // handle returned by LOOKUP/CREATE/MKDIR
+	Count   uint32 // bytes moved by READ/WRITE
+	EOF     bool   // READ hit end-of-file
+	Pre     *WccAttr
+	Entries []DirEntry // READDIR contents
+}
+
+// ParseCall decodes the argument body of an NFS call into semantic form.
+func ParseCall(version, proc uint32, body []byte) (*CallInfo, error) {
+	info := &CallInfo{Version: version, Proc: proc, Name: ProcName(version, proc)}
+	switch version {
+	case V3:
+		return parseCall3(info, proc, body)
+	case V2:
+		return parseCall2(info, proc, body)
+	default:
+		return nil, ErrBadProc
+	}
+}
+
+func parseCall3(info *CallInfo, proc uint32, body []byte) (*CallInfo, error) {
+	args, err := DecodeArgs3(proc, body)
+	if err != nil {
+		return nil, err
+	}
+	switch a := args.(type) {
+	case nil:
+	case *GetattrArgs3:
+		info.FH = a.FH
+	case *SetattrArgs3:
+		info.FH = a.FH
+		info.SetSize = a.Attr.Size
+	case *DirOpArgs3:
+		info.FH = a.Dir
+		info.FName = a.Name
+	case *AccessArgs3:
+		info.FH = a.FH
+	case *ReadArgs3:
+		info.FH = a.FH
+		info.Offset = a.Offset
+		info.Count = a.Count
+	case *WriteArgs3:
+		info.FH = a.FH
+		info.Offset = a.Offset
+		info.Count = a.Count
+		info.Stable = a.Stable
+	case *CreateArgs3:
+		info.FH = a.Where.Dir
+		info.FName = a.Where.Name
+		info.SetSize = a.Attr.Size
+	case *MkdirArgs3:
+		info.FH = a.Where.Dir
+		info.FName = a.Where.Name
+	case *SymlinkArgs3:
+		info.FH = a.Where.Dir
+		info.FName = a.Where.Name
+	case *RenameArgs3:
+		info.FH = a.From.Dir
+		info.FName = a.From.Name
+		info.FH2 = a.To.Dir
+		info.FName2 = a.To.Name
+	case *LinkArgs3:
+		info.FH = a.FH
+		info.FH2 = a.To.Dir
+		info.FName2 = a.To.Name
+	case *ReaddirArgs3:
+		info.FH = a.Dir
+		info.Count = a.MaxCount
+	case *CommitArgs3:
+		info.FH = a.FH
+		info.Offset = a.Offset
+		info.Count = a.Count
+	}
+	return info, nil
+}
+
+func parseCall2(info *CallInfo, proc uint32, body []byte) (*CallInfo, error) {
+	args, err := DecodeArgs2(proc, body)
+	if err != nil {
+		return nil, err
+	}
+	switch a := args.(type) {
+	case nil:
+	case *GetattrArgs3:
+		info.FH = a.FH
+	case *SetattrArgs2:
+		info.FH = a.FH
+		info.SetSize = a.Attr.Size
+	case *DirOpArgs3:
+		info.FH = a.Dir
+		info.FName = a.Name
+	case *ReadArgs2:
+		info.FH = a.FH
+		info.Offset = uint64(a.Offset)
+		info.Count = a.Count
+	case *WriteArgs2:
+		info.FH = a.FH
+		info.Offset = uint64(a.Offset)
+		info.Count = uint32(len(a.Data))
+		info.Stable = FileSync // v2 writes are synchronous
+	case *CreateArgs2:
+		info.FH = a.Where.Dir
+		info.FName = a.Where.Name
+		info.SetSize = a.Attr.Size
+	case *RenameArgs3:
+		info.FH = a.From.Dir
+		info.FName = a.From.Name
+		info.FH2 = a.To.Dir
+		info.FName2 = a.To.Name
+	case *LinkArgs3:
+		info.FH = a.FH
+		info.FH2 = a.To.Dir
+		info.FName2 = a.To.Name
+	case *SymlinkArgs3:
+		info.FH = a.Where.Dir
+		info.FName = a.Where.Name
+	case *ReaddirArgs2:
+		info.FH = a.Dir
+		info.Count = a.Count
+	}
+	return info, nil
+}
+
+// ParseReply decodes the result body of an NFS reply into semantic form.
+// The caller must supply the procedure from the matched call, since RPC
+// replies do not carry it.
+func ParseReply(version, proc uint32, body []byte) (*ReplyInfo, error) {
+	info := &ReplyInfo{Version: version, Proc: proc, Name: ProcName(version, proc)}
+	switch version {
+	case V3:
+		return parseReply3(info, proc, body)
+	case V2:
+		return parseReply2(info, proc, body)
+	default:
+		return nil, ErrBadProc
+	}
+}
+
+func parseReply3(info *ReplyInfo, proc uint32, body []byte) (*ReplyInfo, error) {
+	res, err := DecodeRes3(proc, body)
+	if err != nil {
+		return nil, err
+	}
+	switch r := res.(type) {
+	case nil:
+	case *GetattrRes3:
+		info.Status = r.Status
+		info.Attr = r.Attr
+	case *SetattrRes3:
+		info.Status = r.Status
+		if r.Wcc != nil {
+			info.Attr = r.Wcc.After
+			info.Pre = r.Wcc.Before
+		}
+	case *LookupRes3:
+		info.Status = r.Status
+		info.NewFH = r.FH
+		info.Attr = r.Attr
+	case *AccessRes3:
+		info.Status = r.Status
+		info.Attr = r.Attr
+	case *ReadRes3:
+		info.Status = r.Status
+		info.Attr = r.Attr
+		info.Count = r.Count
+		info.EOF = r.EOF
+	case *WriteRes3:
+		info.Status = r.Status
+		info.Count = r.Count
+		if r.Wcc != nil {
+			info.Attr = r.Wcc.After
+			info.Pre = r.Wcc.Before
+		}
+	case *CreateRes3:
+		info.Status = r.Status
+		info.NewFH = r.FH
+		info.Attr = r.Attr
+	case *RemoveRes3:
+		info.Status = r.Status
+		if r.Wcc != nil {
+			info.Attr = r.Wcc.After
+			info.Pre = r.Wcc.Before
+		}
+	case *RenameRes3:
+		info.Status = r.Status
+	case *ReaddirRes3:
+		info.Status = r.Status
+		info.Attr = r.DirAttr
+		info.EOF = r.EOF
+		info.Entries = r.Entries
+	case *FsstatRes3:
+		info.Status = r.Status
+		info.Attr = r.Attr
+	case *CommitRes3:
+		info.Status = r.Status
+		if r.Wcc != nil {
+			info.Attr = r.Wcc.After
+		}
+	}
+	return info, nil
+}
+
+func parseReply2(info *ReplyInfo, proc uint32, body []byte) (*ReplyInfo, error) {
+	res, err := DecodeRes2(proc, body)
+	if err != nil {
+		return nil, err
+	}
+	switch r := res.(type) {
+	case nil:
+	case *AttrStatRes2:
+		info.Status = r.Status
+		info.Attr = r.Attr
+		if proc == V2Write && r.Attr != nil {
+			// v2 write replies don't carry a count; the attrs confirm
+			// the whole request landed, and the sniffer uses the call's
+			// count instead. Leave Count zero here.
+			info.Count = 0
+		}
+	case *DirOpRes2:
+		info.Status = r.Status
+		info.NewFH = r.FH
+		info.Attr = r.Attr
+	case *ReadRes2:
+		info.Status = r.Status
+		info.Attr = r.Attr
+		info.Count = uint32(len(r.Data))
+		if r.Attr != nil {
+			info.EOF = uint64(len(r.Data)) == 0 || r.Attr.Size == 0
+		}
+	case *StatusRes2:
+		info.Status = r.Status
+	case *ReaddirRes2:
+		info.Status = r.Status
+		info.EOF = r.EOF
+		info.Entries = r.Entries
+	case *StatfsRes2:
+		info.Status = r.Status
+	}
+	return info, nil
+}
+
+// IsRead reports whether proc moves data from server to client.
+func (c *CallInfo) IsRead() bool {
+	return (c.Version == V3 && c.Proc == V3Read) || (c.Version == V2 && c.Proc == V2Read)
+}
+
+// IsWrite reports whether proc moves data from client to server.
+func (c *CallInfo) IsWrite() bool {
+	return (c.Version == V3 && c.Proc == V3Write) || (c.Version == V2 && c.Proc == V2Write)
+}
+
+// IsMetadata reports whether the call is an attribute/name operation
+// rather than a data transfer. The paper's "most NFS calls are for
+// metadata" EECS observation counts these.
+func (c *CallInfo) IsMetadata() bool {
+	return !c.IsRead() && !c.IsWrite()
+}

@@ -1,0 +1,688 @@
+package nfs
+
+import (
+	"fmt"
+
+	"repro/internal/xdr"
+)
+
+// NFSv2 wire codecs (RFC 1094). NFSv2 file handles are a fixed 32 bytes;
+// the simulator's 8-byte handles are zero-padded on encode, and decode
+// trims the zero padding back off so both protocol versions yield the
+// same FH for the same file. Sizes and offsets are 32-bit in v2.
+
+func encodeFH2(e *xdr.Encoder, fh FH) {
+	var buf [V2FHSize]byte
+	copy(buf[:], fh)
+	e.PutFixedOpaque(buf[:])
+}
+
+func decodeFH2(d *xdr.Decoder) (FH, error) {
+	b, err := d.FixedOpaque(V2FHSize)
+	if err != nil {
+		return nil, err
+	}
+	// Trim simulator zero padding: if bytes 8.. are zero, this is an
+	// 8-byte simulator handle.
+	allZero := true
+	for _, c := range b[8:] {
+		if c != 0 {
+			allZero = false
+			break
+		}
+	}
+	n := V2FHSize
+	if allZero {
+		n = 8
+	}
+	out := make(FH, n)
+	copy(out, b[:n])
+	return out, nil
+}
+
+func encodeTime2(e *xdr.Encoder, t Time) {
+	e.PutUint32(t.Sec)
+	e.PutUint32(t.Nsec / 1000) // v2 carries microseconds
+}
+
+func decodeTime2(d *xdr.Decoder) (Time, error) {
+	sec, err := d.Uint32()
+	if err != nil {
+		return Time{}, err
+	}
+	usec, err := d.Uint32()
+	if err != nil {
+		return Time{}, err
+	}
+	if usec == 0xFFFFFFFF { // "don't set" marker in sattr
+		return Time{Sec: sec, Nsec: 0xFFFFFFFF}, nil
+	}
+	return Time{Sec: sec, Nsec: usec * 1000}, nil
+}
+
+// EncodeFattr2 writes a v2 fattr block, narrowing 64-bit fields.
+func EncodeFattr2(e *xdr.Encoder, a *Fattr) {
+	e.PutUint32(a.Type)
+	e.PutUint32(a.Mode)
+	e.PutUint32(a.Nlink)
+	e.PutUint32(a.UID)
+	e.PutUint32(a.GID)
+	e.PutUint32(uint32(a.Size))
+	e.PutUint32(8192)                         // blocksize
+	e.PutUint32(0)                            // rdev
+	e.PutUint32(uint32((a.Used + 511) / 512)) // blocks
+	e.PutUint32(uint32(a.FSID))
+	e.PutUint32(uint32(a.FileID))
+	encodeTime2(e, a.Atime)
+	encodeTime2(e, a.Mtime)
+	encodeTime2(e, a.Ctime)
+}
+
+// DecodeFattr2 parses a v2 fattr block into the version-neutral form.
+func DecodeFattr2(d *xdr.Decoder) (*Fattr, error) {
+	var a Fattr
+	var err error
+	if a.Type, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	if a.Mode, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	if a.Nlink, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	if a.UID, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	if a.GID, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	size, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	a.Size = uint64(size)
+	if _, err = d.Uint32(); err != nil { // blocksize
+		return nil, err
+	}
+	if _, err = d.Uint32(); err != nil { // rdev
+		return nil, err
+	}
+	blocks, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	a.Used = uint64(blocks) * 512
+	fsid, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	a.FSID = uint64(fsid)
+	fileid, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	a.FileID = uint64(fileid)
+	if a.Atime, err = decodeTime2(d); err != nil {
+		return nil, err
+	}
+	if a.Mtime, err = decodeTime2(d); err != nil {
+		return nil, err
+	}
+	if a.Ctime, err = decodeTime2(d); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+const v2NoValue = 0xFFFFFFFF
+
+func encodeSattr2(e *xdr.Encoder, s *Sattr) {
+	put := func(v *uint32) {
+		if v == nil {
+			e.PutUint32(v2NoValue)
+		} else {
+			e.PutUint32(*v)
+		}
+	}
+	put(s.Mode)
+	put(s.UID)
+	put(s.GID)
+	if s.Size == nil {
+		e.PutUint32(v2NoValue)
+	} else {
+		e.PutUint32(uint32(*s.Size))
+	}
+	putTime := func(t *Time) {
+		if t == nil {
+			e.PutUint32(v2NoValue)
+			e.PutUint32(v2NoValue)
+		} else {
+			encodeTime2(e, *t)
+		}
+	}
+	putTime(s.Atime)
+	putTime(s.Mtime)
+}
+
+func decodeSattr2(d *xdr.Decoder) (*Sattr, error) {
+	var s Sattr
+	get := func() (*uint32, error) {
+		v, err := d.Uint32()
+		if err != nil || v == v2NoValue {
+			return nil, err
+		}
+		return &v, nil
+	}
+	var err error
+	if s.Mode, err = get(); err != nil {
+		return nil, err
+	}
+	if s.UID, err = get(); err != nil {
+		return nil, err
+	}
+	if s.GID, err = get(); err != nil {
+		return nil, err
+	}
+	sz, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if sz != v2NoValue {
+		v := uint64(sz)
+		s.Size = &v
+	}
+	getTime := func() (*Time, error) {
+		sec, err := d.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		usec, err := d.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		if sec == v2NoValue && usec == v2NoValue {
+			return nil, nil
+		}
+		return &Time{Sec: sec, Nsec: usec * 1000}, nil
+	}
+	if s.Atime, err = getTime(); err != nil {
+		return nil, err
+	}
+	if s.Mtime, err = getTime(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// --- v2 argument structs (reusing v3 shapes where the fields match) ---
+
+// ReadArgs2 is the v2 READ argument.
+type ReadArgs2 struct {
+	FH         FH
+	Offset     uint32
+	Count      uint32
+	TotalCount uint32
+}
+
+// WriteArgs2 is the v2 WRITE argument.
+type WriteArgs2 struct {
+	FH     FH
+	Offset uint32
+	Data   []byte
+}
+
+// CreateArgs2 is the v2 CREATE/MKDIR argument.
+type CreateArgs2 struct {
+	Where DirOpArgs3
+	Attr  Sattr
+}
+
+// SetattrArgs2 is the v2 SETATTR argument.
+type SetattrArgs2 struct {
+	FH   FH
+	Attr Sattr
+}
+
+// ReaddirArgs2 is the v2 READDIR argument.
+type ReaddirArgs2 struct {
+	Dir    FH
+	Cookie uint32
+	Count  uint32
+}
+
+// AttrStatRes2 is the common v2 result: status plus attributes
+// (GETATTR, SETATTR, WRITE).
+type AttrStatRes2 struct {
+	Status uint32
+	Attr   *Fattr
+}
+
+// DirOpRes2 is the v2 LOOKUP/CREATE/MKDIR result: status, fh, attrs.
+type DirOpRes2 struct {
+	Status uint32
+	FH     FH
+	Attr   *Fattr
+}
+
+// ReadRes2 is the v2 READ result.
+type ReadRes2 struct {
+	Status uint32
+	Attr   *Fattr
+	Data   []byte
+}
+
+// StatusRes2 is the bare-status v2 result (REMOVE, RENAME, etc.).
+type StatusRes2 struct {
+	Status uint32
+}
+
+// ReaddirRes2 is the v2 READDIR result.
+type ReaddirRes2 struct {
+	Status  uint32
+	Entries []DirEntry
+	EOF     bool
+}
+
+// StatfsRes2 is the v2 STATFS result.
+type StatfsRes2 struct {
+	Status uint32
+	Tsize  uint32
+	Bsize  uint32
+	Blocks uint32
+	Bfree  uint32
+	Bavail uint32
+}
+
+// EncodeArgs2 writes the v2 argument body for proc.
+func EncodeArgs2(e *xdr.Encoder, proc uint32, args any) error {
+	switch proc {
+	case V2Null, V2Root, V2Writecache:
+		return nil
+	case V2Getattr, V2Readlink, V2Statfs:
+		encodeFH2(e, args.(*GetattrArgs3).FH)
+	case V2Setattr:
+		a := args.(*SetattrArgs2)
+		encodeFH2(e, a.FH)
+		encodeSattr2(e, &a.Attr)
+	case V2Lookup:
+		a := args.(*DirOpArgs3)
+		encodeFH2(e, a.Dir)
+		e.PutString(a.Name)
+	case V2Read:
+		a := args.(*ReadArgs2)
+		encodeFH2(e, a.FH)
+		e.PutUint32(a.Offset)
+		e.PutUint32(a.Count)
+		e.PutUint32(a.TotalCount)
+	case V2Write:
+		a := args.(*WriteArgs2)
+		encodeFH2(e, a.FH)
+		e.PutUint32(0) // beginoffset (unused)
+		e.PutUint32(a.Offset)
+		e.PutUint32(0) // totalcount (unused)
+		e.PutOpaque(a.Data)
+	case V2Create, V2Mkdir:
+		a := args.(*CreateArgs2)
+		encodeFH2(e, a.Where.Dir)
+		e.PutString(a.Where.Name)
+		encodeSattr2(e, &a.Attr)
+	case V2Remove, V2Rmdir:
+		a := args.(*DirOpArgs3)
+		encodeFH2(e, a.Dir)
+		e.PutString(a.Name)
+	case V2Rename:
+		a := args.(*RenameArgs3)
+		encodeFH2(e, a.From.Dir)
+		e.PutString(a.From.Name)
+		encodeFH2(e, a.To.Dir)
+		e.PutString(a.To.Name)
+	case V2Link:
+		a := args.(*LinkArgs3)
+		encodeFH2(e, a.FH)
+		encodeFH2(e, a.To.Dir)
+		e.PutString(a.To.Name)
+	case V2Symlink:
+		a := args.(*SymlinkArgs3)
+		encodeFH2(e, a.Where.Dir)
+		e.PutString(a.Where.Name)
+		e.PutString(a.Target)
+		encodeSattr2(e, &a.Attr)
+	case V2Readdir:
+		a := args.(*ReaddirArgs2)
+		encodeFH2(e, a.Dir)
+		e.PutUint32(a.Cookie)
+		e.PutUint32(a.Count)
+	default:
+		return fmt.Errorf("%w: v2 proc %d", ErrBadProc, proc)
+	}
+	return nil
+}
+
+// DecodeArgs2 parses the v2 argument body for proc.
+func DecodeArgs2(proc uint32, body []byte) (any, error) {
+	d := xdr.NewDecoder(body)
+	switch proc {
+	case V2Null, V2Root, V2Writecache:
+		return nil, nil
+	case V2Getattr, V2Readlink, V2Statfs:
+		fh, err := decodeFH2(d)
+		if err != nil {
+			return nil, err
+		}
+		return &GetattrArgs3{FH: fh}, nil
+	case V2Setattr:
+		fh, err := decodeFH2(d)
+		if err != nil {
+			return nil, err
+		}
+		s, err := decodeSattr2(d)
+		if err != nil {
+			return nil, err
+		}
+		return &SetattrArgs2{FH: fh, Attr: *s}, nil
+	case V2Lookup, V2Remove, V2Rmdir:
+		fh, err := decodeFH2(d)
+		if err != nil {
+			return nil, err
+		}
+		name, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		return &DirOpArgs3{Dir: fh, Name: name}, nil
+	case V2Read:
+		fh, err := decodeFH2(d)
+		if err != nil {
+			return nil, err
+		}
+		off, err := d.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		count, err := d.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		tc, err := d.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		return &ReadArgs2{FH: fh, Offset: off, Count: count, TotalCount: tc}, nil
+	case V2Write:
+		fh, err := decodeFH2(d)
+		if err != nil {
+			return nil, err
+		}
+		if _, err = d.Uint32(); err != nil { // beginoffset
+			return nil, err
+		}
+		off, err := d.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		if _, err = d.Uint32(); err != nil { // totalcount
+			return nil, err
+		}
+		data, err := d.Opaque()
+		if err != nil {
+			return nil, err
+		}
+		return &WriteArgs2{FH: fh, Offset: off, Data: data}, nil
+	case V2Create, V2Mkdir:
+		fh, err := decodeFH2(d)
+		if err != nil {
+			return nil, err
+		}
+		name, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		s, err := decodeSattr2(d)
+		if err != nil {
+			return nil, err
+		}
+		return &CreateArgs2{Where: DirOpArgs3{Dir: fh, Name: name}, Attr: *s}, nil
+	case V2Rename:
+		ffh, err := decodeFH2(d)
+		if err != nil {
+			return nil, err
+		}
+		fname, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		tfh, err := decodeFH2(d)
+		if err != nil {
+			return nil, err
+		}
+		tname, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		return &RenameArgs3{
+			From: DirOpArgs3{Dir: ffh, Name: fname},
+			To:   DirOpArgs3{Dir: tfh, Name: tname},
+		}, nil
+	case V2Link:
+		fh, err := decodeFH2(d)
+		if err != nil {
+			return nil, err
+		}
+		tfh, err := decodeFH2(d)
+		if err != nil {
+			return nil, err
+		}
+		tname, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		return &LinkArgs3{FH: fh, To: DirOpArgs3{Dir: tfh, Name: tname}}, nil
+	case V2Symlink:
+		fh, err := decodeFH2(d)
+		if err != nil {
+			return nil, err
+		}
+		name, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		target, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		s, err := decodeSattr2(d)
+		if err != nil {
+			return nil, err
+		}
+		return &SymlinkArgs3{Where: DirOpArgs3{Dir: fh, Name: name}, Attr: *s, Target: target}, nil
+	case V2Readdir:
+		fh, err := decodeFH2(d)
+		if err != nil {
+			return nil, err
+		}
+		cookie, err := d.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		count, err := d.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		return &ReaddirArgs2{Dir: fh, Cookie: cookie, Count: count}, nil
+	default:
+		return nil, fmt.Errorf("%w: v2 proc %d", ErrBadProc, proc)
+	}
+}
+
+// EncodeRes2 writes the v2 result body for proc.
+func EncodeRes2(e *xdr.Encoder, proc uint32, res any) error {
+	switch proc {
+	case V2Null, V2Root, V2Writecache:
+		return nil
+	case V2Getattr, V2Setattr, V2Write:
+		r := res.(*AttrStatRes2)
+		e.PutUint32(r.Status)
+		if r.Status == OK {
+			EncodeFattr2(e, r.Attr)
+		}
+	case V2Lookup, V2Create, V2Mkdir:
+		r := res.(*DirOpRes2)
+		e.PutUint32(r.Status)
+		if r.Status == OK {
+			encodeFH2(e, r.FH)
+			EncodeFattr2(e, r.Attr)
+		}
+	case V2Readlink:
+		r := res.(*StatusRes2)
+		e.PutUint32(r.Status)
+		if r.Status == OK {
+			e.PutString("")
+		}
+	case V2Read:
+		r := res.(*ReadRes2)
+		e.PutUint32(r.Status)
+		if r.Status == OK {
+			EncodeFattr2(e, r.Attr)
+			e.PutOpaque(r.Data)
+		}
+	case V2Remove, V2Rename, V2Link, V2Symlink, V2Rmdir:
+		r := res.(*StatusRes2)
+		e.PutUint32(r.Status)
+	case V2Readdir:
+		r := res.(*ReaddirRes2)
+		e.PutUint32(r.Status)
+		if r.Status == OK {
+			for _, ent := range r.Entries {
+				e.PutBool(true)
+				e.PutUint32(uint32(ent.FileID))
+				e.PutString(ent.Name)
+				e.PutUint32(uint32(ent.Cookie))
+			}
+			e.PutBool(false)
+			e.PutBool(r.EOF)
+		}
+	case V2Statfs:
+		r := res.(*StatfsRes2)
+		e.PutUint32(r.Status)
+		if r.Status == OK {
+			e.PutUint32(r.Tsize)
+			e.PutUint32(r.Bsize)
+			e.PutUint32(r.Blocks)
+			e.PutUint32(r.Bfree)
+			e.PutUint32(r.Bavail)
+		}
+	default:
+		return fmt.Errorf("%w: v2 proc %d", ErrBadProc, proc)
+	}
+	return nil
+}
+
+// DecodeRes2 parses the v2 result body for proc.
+func DecodeRes2(proc uint32, body []byte) (any, error) {
+	d := xdr.NewDecoder(body)
+	status := uint32(OK)
+	var err error
+	if proc != V2Null && proc != V2Root && proc != V2Writecache {
+		if status, err = d.Uint32(); err != nil {
+			return nil, err
+		}
+	}
+	switch proc {
+	case V2Null, V2Root, V2Writecache:
+		return nil, nil
+	case V2Getattr, V2Setattr, V2Write:
+		r := &AttrStatRes2{Status: status}
+		if status == OK {
+			if r.Attr, err = DecodeFattr2(d); err != nil {
+				return nil, err
+			}
+		}
+		return r, nil
+	case V2Lookup, V2Create, V2Mkdir:
+		r := &DirOpRes2{Status: status}
+		if status == OK {
+			if r.FH, err = decodeFH2(d); err != nil {
+				return nil, err
+			}
+			if r.Attr, err = DecodeFattr2(d); err != nil {
+				return nil, err
+			}
+		}
+		return r, nil
+	case V2Readlink:
+		if status == OK {
+			if _, err = d.String(); err != nil {
+				return nil, err
+			}
+		}
+		return &StatusRes2{Status: status}, nil
+	case V2Read:
+		r := &ReadRes2{Status: status}
+		if status == OK {
+			if r.Attr, err = DecodeFattr2(d); err != nil {
+				return nil, err
+			}
+			if r.Data, err = d.Opaque(); err != nil {
+				return nil, err
+			}
+		}
+		return r, nil
+	case V2Remove, V2Rename, V2Link, V2Symlink, V2Rmdir:
+		return &StatusRes2{Status: status}, nil
+	case V2Readdir:
+		r := &ReaddirRes2{Status: status}
+		if status == OK {
+			for {
+				more, err := d.Bool()
+				if err != nil {
+					return nil, err
+				}
+				if !more {
+					break
+				}
+				var ent DirEntry
+				id, err := d.Uint32()
+				if err != nil {
+					return nil, err
+				}
+				ent.FileID = uint64(id)
+				if ent.Name, err = d.String(); err != nil {
+					return nil, err
+				}
+				cookie, err := d.Uint32()
+				if err != nil {
+					return nil, err
+				}
+				ent.Cookie = uint64(cookie)
+				r.Entries = append(r.Entries, ent)
+			}
+			if r.EOF, err = d.Bool(); err != nil {
+				return nil, err
+			}
+		}
+		return r, nil
+	case V2Statfs:
+		r := &StatfsRes2{Status: status}
+		if status == OK {
+			if r.Tsize, err = d.Uint32(); err != nil {
+				return nil, err
+			}
+			if r.Bsize, err = d.Uint32(); err != nil {
+				return nil, err
+			}
+			if r.Blocks, err = d.Uint32(); err != nil {
+				return nil, err
+			}
+			if r.Bfree, err = d.Uint32(); err != nil {
+				return nil, err
+			}
+			if r.Bavail, err = d.Uint32(); err != nil {
+				return nil, err
+			}
+		}
+		return r, nil
+	default:
+		return nil, fmt.Errorf("%w: v2 proc %d", ErrBadProc, proc)
+	}
+}

@@ -1,0 +1,55 @@
+package tcpasm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// BenchmarkInOrderStream measures the fast path: contiguous segments.
+func BenchmarkInOrderStream(b *testing.B) {
+	payload := make([]byte, 1448)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	s := NewStream()
+	s.Add(&wire.Frame{Flags: wire.FlagSYN, Seq: 0})
+	seq := uint32(1)
+	f := &wire.Frame{Payload: payload}
+	for i := 0; i < b.N; i++ {
+		f.Seq = seq
+		if out := s.Add(f); len(out) != len(payload) {
+			b.Fatal("lost data")
+		}
+		seq += uint32(len(payload))
+	}
+}
+
+// BenchmarkReorderedStream measures reassembly with 10% adjacent swaps.
+func BenchmarkReorderedStream(b *testing.B) {
+	payload := make([]byte, 1448)
+	rng := rand.New(rand.NewSource(1))
+	const window = 64
+	seqs := make([]uint32, window)
+	for i := range seqs {
+		seqs[i] = 1 + uint32(i*len(payload))
+	}
+	for i := 0; i < len(seqs)-1; i++ {
+		if rng.Float64() < 0.10 {
+			seqs[i], seqs[i+1] = seqs[i+1], seqs[i]
+		}
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var s *Stream
+	f := &wire.Frame{Payload: payload}
+	for i := 0; i < b.N; i++ {
+		if i%window == 0 {
+			s = NewStream()
+			s.Add(&wire.Frame{Flags: wire.FlagSYN, Seq: 0})
+		}
+		f.Seq = seqs[i%window]
+		s.Add(f)
+	}
+}

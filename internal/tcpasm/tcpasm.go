@@ -1,0 +1,184 @@
+// Package tcpasm reassembles unidirectional TCP byte streams from
+// decoded segments, tolerating out-of-order arrival, retransmission, and
+// the segment coalescing the paper's tracing software had to handle
+// (multiple RPC messages, or partial messages, per TCP segment).
+//
+// The output of a Stream is the in-order byte stream, which the caller
+// feeds to an rpc.RecordScanner to recover message boundaries.
+package tcpasm
+
+import (
+	"sort"
+
+	"repro/internal/wire"
+)
+
+// Stream reassembles one direction of one TCP connection.
+type Stream struct {
+	established bool
+	nextSeq     uint32
+	// ooo holds out-of-order segments keyed by sequence number.
+	ooo map[uint32][]byte
+	// emitted is the total number of in-order bytes produced.
+	emitted int64
+	// gaps counts the times a hole was skipped (data lost upstream).
+	gaps int
+}
+
+// NewStream returns an empty reassembler for one flow direction.
+func NewStream() *Stream {
+	return &Stream{ooo: make(map[uint32][]byte)}
+}
+
+// Emitted reports the number of in-order payload bytes produced so far.
+func (s *Stream) Emitted() int64 { return s.emitted }
+
+// Gaps reports how many sequence holes were skipped over.
+func (s *Stream) Gaps() int { return s.gaps }
+
+// PendingOOO reports buffered out-of-order segments awaiting a hole fill.
+func (s *Stream) PendingOOO() int { return len(s.ooo) }
+
+// seqLess reports a < b in 32-bit sequence space.
+func seqLess(a, b uint32) bool { return int32(a-b) < 0 }
+
+// Add processes one TCP segment and returns any newly contiguous stream
+// bytes (possibly nil). SYN segments establish the initial sequence
+// number; data before establishment is accepted by trusting the first
+// seen segment's sequence.
+func (s *Stream) Add(f *wire.Frame) []byte {
+	if f.Flags&wire.FlagSYN != 0 {
+		s.established = true
+		s.nextSeq = f.Seq + 1 // SYN consumes one sequence number
+		return nil
+	}
+	if len(f.Payload) == 0 {
+		return nil
+	}
+	if !s.established {
+		// Mid-stream capture: sync to the first data segment.
+		s.established = true
+		s.nextSeq = f.Seq
+	}
+	seg := f.Payload
+	seq := f.Seq
+
+	// Drop or trim data we already emitted (retransmission overlap).
+	if seqLess(seq, s.nextSeq) {
+		overlap := s.nextSeq - seq
+		if uint32(len(seg)) <= overlap {
+			return nil // full retransmission
+		}
+		seg = seg[overlap:]
+		seq = s.nextSeq
+	}
+
+	if seq != s.nextSeq {
+		// Out of order: buffer a copy (the frame buffer may be reused).
+		cp := make([]byte, len(seg))
+		copy(cp, seg)
+		if old, ok := s.ooo[seq]; !ok || len(cp) > len(old) {
+			s.ooo[seq] = cp
+		}
+		return nil
+	}
+
+	out := make([]byte, 0, len(seg))
+	out = append(out, seg...)
+	s.nextSeq = seq + uint32(len(seg))
+	// Drain any buffered segments that are now contiguous.
+	for {
+		next, ok := s.takeAt(s.nextSeq)
+		if !ok {
+			break
+		}
+		out = append(out, next...)
+		s.nextSeq += uint32(len(next))
+	}
+	s.emitted += int64(len(out))
+	return out
+}
+
+// takeAt removes and returns a buffered segment starting at or
+// overlapping seq.
+func (s *Stream) takeAt(seq uint32) ([]byte, bool) {
+	if seg, ok := s.ooo[seq]; ok {
+		delete(s.ooo, seq)
+		return seg, true
+	}
+	// Check for overlapping older segments that extend past seq.
+	for start, seg := range s.ooo {
+		end := start + uint32(len(seg))
+		if seqLess(start, seq) && seqLess(seq, end) {
+			delete(s.ooo, start)
+			return seg[seq-start:], true
+		}
+	}
+	return nil, false
+}
+
+// SkipGaps force-flushes buffered out-of-order data by jumping over the
+// missing bytes, used when the capture is known lossy (the CAMPUS mirror
+// port dropped packets under load; §4.1.4 of the paper). Returns the
+// flushed bytes in sequence order. Message framing across the hole is
+// lost; the RPC scanner downstream resynchronizes at the next record
+// boundary only by luck, so callers reset the scanner instead.
+func (s *Stream) SkipGaps() []byte {
+	if len(s.ooo) == 0 {
+		return nil
+	}
+	starts := make([]uint32, 0, len(s.ooo))
+	for st := range s.ooo {
+		starts = append(starts, st)
+	}
+	sort.Slice(starts, func(i, j int) bool { return seqLess(starts[i], starts[j]) })
+	var out []byte
+	for _, st := range starts {
+		seg := s.ooo[st]
+		delete(s.ooo, st)
+		if seqLess(st, s.nextSeq) {
+			overlap := s.nextSeq - st
+			if uint32(len(seg)) <= overlap {
+				continue
+			}
+			seg = seg[overlap:]
+			st = s.nextSeq
+		}
+		if st != s.nextSeq {
+			s.gaps++
+		}
+		out = append(out, seg...)
+		s.nextSeq = st + uint32(len(seg))
+	}
+	s.emitted += int64(len(out))
+	return out
+}
+
+// Assembler tracks all flows in a capture, routing each segment to its
+// per-direction Stream.
+type Assembler struct {
+	streams map[wire.FlowKey]*Stream
+}
+
+// NewAssembler returns an empty flow table.
+func NewAssembler() *Assembler {
+	return &Assembler{streams: make(map[wire.FlowKey]*Stream)}
+}
+
+// Add routes the segment and returns newly contiguous bytes plus the
+// stream they belong to.
+func (a *Assembler) Add(f *wire.Frame) ([]byte, *Stream) {
+	key := f.Flow()
+	st := a.streams[key]
+	if st == nil {
+		st = NewStream()
+		a.streams[key] = st
+	}
+	return st.Add(f), st
+}
+
+// Flows reports the number of tracked flow directions.
+func (a *Assembler) Flows() int { return len(a.streams) }
+
+// Stream returns the stream for a flow key, or nil.
+func (a *Assembler) Stream(key wire.FlowKey) *Stream { return a.streams[key] }

@@ -1,0 +1,164 @@
+package tcpasm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func seg(seq uint32, payload []byte, flags uint8) *wire.Frame {
+	return &wire.Frame{
+		SrcIP: wire.IP{10, 0, 0, 5}, DstIP: wire.IP{10, 0, 0, 1},
+		Proto: wire.ProtoTCP, SrcPort: 900, DstPort: 2049,
+		Seq: seq, Flags: flags, Payload: payload,
+	}
+}
+
+func TestInOrderStream(t *testing.T) {
+	s := NewStream()
+	if out := s.Add(seg(100, nil, wire.FlagSYN)); out != nil {
+		t.Fatal("SYN produced data")
+	}
+	var got []byte
+	got = append(got, s.Add(seg(101, []byte("hello "), wire.FlagACK))...)
+	got = append(got, s.Add(seg(107, []byte("world"), wire.FlagACK))...)
+	if string(got) != "hello world" {
+		t.Fatalf("got %q", got)
+	}
+	if s.Emitted() != 11 || s.Gaps() != 0 {
+		t.Fatalf("emitted=%d gaps=%d", s.Emitted(), s.Gaps())
+	}
+}
+
+func TestOutOfOrderStream(t *testing.T) {
+	s := NewStream()
+	s.Add(seg(0, nil, wire.FlagSYN))
+	if out := s.Add(seg(7, []byte("world"), 0)); out != nil {
+		t.Fatalf("out-of-order segment emitted %q", out)
+	}
+	if s.PendingOOO() != 1 {
+		t.Fatalf("pending = %d", s.PendingOOO())
+	}
+	out := s.Add(seg(1, []byte("hello "), 0))
+	if string(out) != "hello world" {
+		t.Fatalf("got %q", out)
+	}
+	if s.PendingOOO() != 0 {
+		t.Fatal("ooo buffer leaked")
+	}
+}
+
+func TestRetransmissionIgnored(t *testing.T) {
+	s := NewStream()
+	s.Add(seg(0, nil, wire.FlagSYN))
+	s.Add(seg(1, []byte("abcd"), 0))
+	if out := s.Add(seg(1, []byte("abcd"), 0)); out != nil {
+		t.Fatalf("retransmission emitted %q", out)
+	}
+	// Partial overlap: seq 3 retransmits "cd" plus new "ef".
+	out := s.Add(seg(3, []byte("cdef"), 0))
+	if string(out) != "ef" {
+		t.Fatalf("partial overlap emitted %q", out)
+	}
+}
+
+func TestMidStreamSync(t *testing.T) {
+	// Capture started after the connection: first data segment sets the
+	// sequence base.
+	s := NewStream()
+	out := s.Add(seg(5000, []byte("data"), wire.FlagACK))
+	if string(out) != "data" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestSequenceWraparound(t *testing.T) {
+	s := NewStream()
+	base := uint32(0xFFFFFFF0)
+	s.Add(seg(base, nil, wire.FlagSYN))
+	out1 := s.Add(seg(base+1, bytes.Repeat([]byte{1}, 20), 0)) // crosses wrap
+	out2 := s.Add(seg(base+21, []byte{2, 2}, 0))
+	if len(out1) != 20 || len(out2) != 2 {
+		t.Fatalf("wraparound: %d %d", len(out1), len(out2))
+	}
+}
+
+func TestRandomizedReordering(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	// Build a reference stream of 200 segments.
+	var ref []byte
+	type chunk struct {
+		seq  uint32
+		data []byte
+	}
+	var chunks []chunk
+	seq := uint32(1)
+	for i := 0; i < 200; i++ {
+		n := rng.Intn(100) + 1
+		data := make([]byte, n)
+		rng.Read(data)
+		chunks = append(chunks, chunk{seq: seq, data: data})
+		ref = append(ref, data...)
+		seq += uint32(n)
+	}
+	// Shuffle within a window of 8 to mimic mild reordering.
+	for i := range chunks {
+		j := i + rng.Intn(8)
+		if j < len(chunks) {
+			chunks[i], chunks[j] = chunks[j], chunks[i]
+		}
+	}
+	s := NewStream()
+	s.Add(seg(0, nil, wire.FlagSYN))
+	var got []byte
+	for _, c := range chunks {
+		got = append(got, s.Add(seg(c.seq, c.data, 0))...)
+	}
+	if !bytes.Equal(got, ref) {
+		t.Fatalf("reassembly mismatch: %d vs %d bytes", len(got), len(ref))
+	}
+}
+
+func TestSkipGaps(t *testing.T) {
+	s := NewStream()
+	s.Add(seg(0, nil, wire.FlagSYN))
+	s.Add(seg(1, []byte("aa"), 0))
+	// Lose seq 3..4, receive 5.. as OOO.
+	if out := s.Add(seg(5, []byte("bb"), 0)); out != nil {
+		t.Fatal("hole emitted")
+	}
+	out := s.SkipGaps()
+	if string(out) != "bb" {
+		t.Fatalf("skip emitted %q", out)
+	}
+	if s.Gaps() != 1 {
+		t.Fatalf("gaps = %d", s.Gaps())
+	}
+	// Stream continues after the skip.
+	if got := s.Add(seg(7, []byte("cc"), 0)); string(got) != "cc" {
+		t.Fatalf("post-skip got %q", got)
+	}
+}
+
+func TestAssemblerRoutesFlows(t *testing.T) {
+	a := NewAssembler()
+	f1 := seg(1, []byte("x"), 0)
+	f2 := seg(1, []byte("y"), 0)
+	f2.SrcPort = 901 // different flow
+	out1, s1 := a.Add(f1)
+	out2, s2 := a.Add(f2)
+	if s1 == s2 {
+		t.Fatal("flows shared a stream")
+	}
+	if string(out1) != "x" || string(out2) != "y" {
+		t.Fatalf("outputs %q %q", out1, out2)
+	}
+	if a.Flows() != 2 {
+		t.Fatalf("flows = %d", a.Flows())
+	}
+	if a.Stream(f1.Flow()) != s1 {
+		t.Fatal("stream lookup failed")
+	}
+}

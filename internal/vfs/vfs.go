@@ -1,0 +1,561 @@
+// Package vfs provides the in-memory UNIX-like filesystem that backs the
+// NFS server simulator: inodes with attributes, directories, file
+// handles, quotas, and block accounting.
+//
+// File contents are not stored — only sizes — because the tracer and
+// every analysis in the paper operate on operation streams and byte
+// counts, never on data. Storing content for a simulated week of CAMPUS
+// traffic (135 GB/day read) would be pointless and impossible in memory.
+// Reads and writes therefore manipulate size and timestamps exactly as a
+// real server would, and the server layer synthesizes payload filler
+// when a byte-faithful packet is required.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+
+	"repro/internal/nfs"
+)
+
+// Filesystem errors, mapped to NFS status codes by the server layer.
+var (
+	ErrNotFound    = errors.New("vfs: no such file or directory")
+	ErrExist       = errors.New("vfs: file exists")
+	ErrNotDir      = errors.New("vfs: not a directory")
+	ErrIsDir       = errors.New("vfs: is a directory")
+	ErrNotEmpty    = errors.New("vfs: directory not empty")
+	ErrStale       = errors.New("vfs: stale file handle")
+	ErrQuota       = errors.New("vfs: quota exceeded")
+	ErrNameTooLong = errors.New("vfs: name too long")
+)
+
+// BlockSize is the filesystem block size used for Used accounting; the
+// paper's analyses round to 8 KB blocks.
+const BlockSize = 8192
+
+// MaxNameLen bounds a single path component.
+const MaxNameLen = 255
+
+// Inode is one filesystem object.
+type Inode struct {
+	ID    uint64
+	Type  uint32 // nfs.TypeReg, TypeDir, TypeLnk
+	Mode  uint32
+	Nlink uint32
+	UID   uint32
+	GID   uint32
+	Size  uint64
+	Atime float64 // seconds since trace epoch
+	Mtime float64
+	Ctime float64
+
+	// children maps name → inode ID for directories.
+	children map[string]uint64
+	// parent is the containing directory (directories only, for path
+	// reconstruction; hard links to files may have several parents and
+	// we record the first).
+	parent uint64
+	// name is the name under parent (first link).
+	name string
+	// Target is the symlink target, if Type == TypeLnk.
+	Target string
+}
+
+// Used reports the block-rounded space consumption.
+func (ino *Inode) Used() uint64 {
+	return (ino.Size + BlockSize - 1) / BlockSize * BlockSize
+}
+
+// FS is an in-memory filesystem with a single root.
+type FS struct {
+	inodes map[uint64]*Inode
+	nextID uint64
+	root   uint64
+
+	// QuotaPerUID is the per-user byte quota (0 = unlimited); the
+	// CAMPUS system gave each user 50 MB.
+	QuotaPerUID uint64
+	usage       map[uint32]uint64
+
+	// Clock supplies "now" for timestamps, driven by the simulator.
+	Clock func() float64
+}
+
+// New creates a filesystem with an empty root directory owned by root.
+func New() *FS {
+	fs := &FS{
+		inodes: make(map[uint64]*Inode),
+		nextID: 2, // inode 2 is the root, as in FFS
+		usage:  make(map[uint32]uint64),
+		Clock:  func() float64 { return 0 },
+	}
+	root := &Inode{
+		ID: 2, Type: nfs.TypeDir, Mode: 0755, Nlink: 2,
+		children: make(map[string]uint64),
+	}
+	fs.inodes[2] = root
+	fs.root = 2
+	fs.nextID = 3
+	return fs
+}
+
+// Root returns the root directory's inode ID.
+func (fs *FS) Root() uint64 { return fs.root }
+
+// RootFH returns the root file handle.
+func (fs *FS) RootFH() nfs.FH { return nfs.MakeFH(fs.root) }
+
+// NumInodes reports the number of live inodes.
+func (fs *FS) NumInodes() int { return len(fs.inodes) }
+
+// Get resolves an inode by ID.
+func (fs *FS) Get(id uint64) (*Inode, error) {
+	ino := fs.inodes[id]
+	if ino == nil {
+		return nil, ErrStale
+	}
+	return ino, nil
+}
+
+// GetFH resolves an inode from a file handle.
+func (fs *FS) GetFH(fh nfs.FH) (*Inode, error) {
+	id, ok := fh.FileID()
+	if !ok {
+		return nil, ErrStale
+	}
+	return fs.Get(id)
+}
+
+// Lookup resolves name within directory dir.
+func (fs *FS) Lookup(dir uint64, name string) (*Inode, error) {
+	d, err := fs.Get(dir)
+	if err != nil {
+		return nil, err
+	}
+	if d.Type != nfs.TypeDir {
+		return nil, ErrNotDir
+	}
+	switch name {
+	case ".", "":
+		return d, nil
+	case "..":
+		if d.parent == 0 {
+			return d, nil
+		}
+		return fs.Get(d.parent)
+	}
+	id, ok := d.children[name]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return fs.Get(id)
+}
+
+func (fs *FS) checkName(name string) error {
+	if len(name) > MaxNameLen {
+		return ErrNameTooLong
+	}
+	if name == "" || name == "." || name == ".." || strings.ContainsRune(name, '/') {
+		return ErrExist
+	}
+	return nil
+}
+
+// Create makes a regular file under dir. It fails if the name exists.
+func (fs *FS) Create(dir uint64, name string, uid, gid, mode uint32) (*Inode, error) {
+	if err := fs.checkName(name); err != nil {
+		return nil, err
+	}
+	d, err := fs.Get(dir)
+	if err != nil {
+		return nil, err
+	}
+	if d.Type != nfs.TypeDir {
+		return nil, ErrNotDir
+	}
+	if _, exists := d.children[name]; exists {
+		return nil, ErrExist
+	}
+	now := fs.Clock()
+	ino := &Inode{
+		ID: fs.nextID, Type: nfs.TypeReg, Mode: mode, Nlink: 1,
+		UID: uid, GID: gid,
+		Atime: now, Mtime: now, Ctime: now,
+		parent: dir, name: name,
+	}
+	fs.nextID++
+	fs.inodes[ino.ID] = ino
+	d.children[name] = ino.ID
+	d.Mtime, d.Ctime = now, now
+	return ino, nil
+}
+
+// Mkdir makes a directory under dir.
+func (fs *FS) Mkdir(dir uint64, name string, uid, gid, mode uint32) (*Inode, error) {
+	if err := fs.checkName(name); err != nil {
+		return nil, err
+	}
+	d, err := fs.Get(dir)
+	if err != nil {
+		return nil, err
+	}
+	if d.Type != nfs.TypeDir {
+		return nil, ErrNotDir
+	}
+	if _, exists := d.children[name]; exists {
+		return nil, ErrExist
+	}
+	now := fs.Clock()
+	ino := &Inode{
+		ID: fs.nextID, Type: nfs.TypeDir, Mode: mode, Nlink: 2,
+		UID: uid, GID: gid,
+		Atime: now, Mtime: now, Ctime: now,
+		children: make(map[string]uint64),
+		parent:   dir, name: name,
+	}
+	fs.nextID++
+	fs.inodes[ino.ID] = ino
+	d.children[name] = ino.ID
+	d.Nlink++
+	d.Mtime, d.Ctime = now, now
+	return ino, nil
+}
+
+// Symlink makes a symbolic link under dir.
+func (fs *FS) Symlink(dir uint64, name, target string, uid, gid uint32) (*Inode, error) {
+	ino, err := fs.Create(dir, name, uid, gid, 0777)
+	if err != nil {
+		return nil, err
+	}
+	ino.Type = nfs.TypeLnk
+	ino.Target = target
+	ino.Size = uint64(len(target))
+	return ino, nil
+}
+
+// Remove unlinks a non-directory name from dir. The inode is freed when
+// its link count reaches zero.
+func (fs *FS) Remove(dir uint64, name string) error {
+	d, err := fs.Get(dir)
+	if err != nil {
+		return err
+	}
+	id, ok := d.children[name]
+	if !ok {
+		return ErrNotFound
+	}
+	ino, err := fs.Get(id)
+	if err != nil {
+		return err
+	}
+	if ino.Type == nfs.TypeDir {
+		return ErrIsDir
+	}
+	now := fs.Clock()
+	delete(d.children, name)
+	d.Mtime, d.Ctime = now, now
+	ino.Nlink--
+	ino.Ctime = now
+	if ino.Nlink == 0 {
+		fs.chargeUser(ino.UID, -int64(ino.Used()))
+		delete(fs.inodes, id)
+	}
+	return nil
+}
+
+// Rmdir removes an empty directory.
+func (fs *FS) Rmdir(dir uint64, name string) error {
+	d, err := fs.Get(dir)
+	if err != nil {
+		return err
+	}
+	id, ok := d.children[name]
+	if !ok {
+		return ErrNotFound
+	}
+	ino, err := fs.Get(id)
+	if err != nil {
+		return err
+	}
+	if ino.Type != nfs.TypeDir {
+		return ErrNotDir
+	}
+	if len(ino.children) != 0 {
+		return ErrNotEmpty
+	}
+	now := fs.Clock()
+	delete(d.children, name)
+	d.Nlink--
+	d.Mtime, d.Ctime = now, now
+	delete(fs.inodes, id)
+	return nil
+}
+
+// Rename moves fromName in fromDir to toName in toDir, replacing any
+// existing non-directory target, as rename(2) does.
+func (fs *FS) Rename(fromDir uint64, fromName string, toDir uint64, toName string) error {
+	if err := fs.checkName(toName); err != nil {
+		return err
+	}
+	fd, err := fs.Get(fromDir)
+	if err != nil {
+		return err
+	}
+	td, err := fs.Get(toDir)
+	if err != nil {
+		return err
+	}
+	id, ok := fd.children[fromName]
+	if !ok {
+		return ErrNotFound
+	}
+	ino, err := fs.Get(id)
+	if err != nil {
+		return err
+	}
+	if oldID, exists := td.children[toName]; exists {
+		old, err := fs.Get(oldID)
+		if err == nil {
+			if old.Type == nfs.TypeDir {
+				if len(old.children) != 0 {
+					return ErrNotEmpty
+				}
+				td.Nlink--
+				delete(fs.inodes, oldID)
+			} else {
+				old.Nlink--
+				if old.Nlink == 0 {
+					fs.chargeUser(old.UID, -int64(old.Used()))
+					delete(fs.inodes, oldID)
+				}
+			}
+		}
+	}
+	now := fs.Clock()
+	delete(fd.children, fromName)
+	td.children[toName] = id
+	ino.parent, ino.name = toDir, toName
+	ino.Ctime = now
+	if ino.Type == nfs.TypeDir && fromDir != toDir {
+		fd.Nlink--
+		td.Nlink++
+	}
+	fd.Mtime, fd.Ctime = now, now
+	td.Mtime, td.Ctime = now, now
+	return nil
+}
+
+// Link makes a hard link to target under dir.
+func (fs *FS) Link(target uint64, dir uint64, name string) error {
+	if err := fs.checkName(name); err != nil {
+		return err
+	}
+	ino, err := fs.Get(target)
+	if err != nil {
+		return err
+	}
+	if ino.Type == nfs.TypeDir {
+		return ErrIsDir
+	}
+	d, err := fs.Get(dir)
+	if err != nil {
+		return err
+	}
+	if _, exists := d.children[name]; exists {
+		return ErrExist
+	}
+	now := fs.Clock()
+	d.children[name] = target
+	ino.Nlink++
+	ino.Ctime = now
+	d.Mtime, d.Ctime = now, now
+	return nil
+}
+
+// Write extends or overwrites [offset, offset+count) of a regular file,
+// updating size, usage, and times. It returns the previous size so the
+// server can build wcc data and the block-lifetime analysis can see
+// extensions.
+func (fs *FS) Write(id uint64, offset, count uint64, uid uint32) (prevSize uint64, err error) {
+	ino, err := fs.Get(id)
+	if err != nil {
+		return 0, err
+	}
+	if ino.Type == nfs.TypeDir {
+		return 0, ErrIsDir
+	}
+	prevSize = ino.Size
+	end := offset + count
+	if end > ino.Size {
+		newUsed := (end + BlockSize - 1) / BlockSize * BlockSize
+		delta := int64(newUsed) - int64(ino.Used())
+		if fs.QuotaPerUID > 0 && delta > 0 {
+			if fs.usage[ino.UID]+uint64(delta) > fs.QuotaPerUID {
+				return prevSize, ErrQuota
+			}
+		}
+		fs.chargeUser(ino.UID, delta)
+		ino.Size = end
+	}
+	now := fs.Clock()
+	ino.Mtime, ino.Ctime = now, now
+	return prevSize, nil
+}
+
+// Read checks a read range and updates atime, returning the number of
+// bytes available from offset (0 at or past EOF) and whether the read
+// reaches EOF.
+func (fs *FS) Read(id uint64, offset, count uint64) (n uint64, eof bool, err error) {
+	ino, err := fs.Get(id)
+	if err != nil {
+		return 0, false, err
+	}
+	if ino.Type == nfs.TypeDir {
+		return 0, false, ErrIsDir
+	}
+	ino.Atime = fs.Clock()
+	if offset >= ino.Size {
+		return 0, true, nil
+	}
+	n = ino.Size - offset
+	if n > count {
+		n = count
+	}
+	return n, offset+n >= ino.Size, nil
+}
+
+// Truncate sets a regular file's size, releasing or charging usage. It
+// returns the previous size.
+func (fs *FS) Truncate(id uint64, size uint64) (prevSize uint64, err error) {
+	ino, err := fs.Get(id)
+	if err != nil {
+		return 0, err
+	}
+	if ino.Type == nfs.TypeDir {
+		return 0, ErrIsDir
+	}
+	prevSize = ino.Size
+	newUsed := (size + BlockSize - 1) / BlockSize * BlockSize
+	delta := int64(newUsed) - int64(ino.Used())
+	if fs.QuotaPerUID > 0 && delta > 0 && fs.usage[ino.UID]+uint64(delta) > fs.QuotaPerUID {
+		return prevSize, ErrQuota
+	}
+	fs.chargeUser(ino.UID, delta)
+	ino.Size = size
+	now := fs.Clock()
+	ino.Mtime, ino.Ctime = now, now
+	return prevSize, nil
+}
+
+// Readdir lists a directory in deterministic (sorted) order starting
+// after the given cookie (0 = start). It returns at most max entries
+// (0 = all) and whether the listing is complete.
+func (fs *FS) Readdir(id uint64, cookie uint64, max int) ([]nfs.DirEntry, bool, error) {
+	d, err := fs.Get(id)
+	if err != nil {
+		return nil, false, err
+	}
+	if d.Type != nfs.TypeDir {
+		return nil, false, ErrNotDir
+	}
+	d.Atime = fs.Clock()
+	names := make([]string, 0, len(d.children))
+	for name := range d.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var entries []nfs.DirEntry
+	for i, name := range names {
+		ck := uint64(i + 1)
+		if ck <= cookie {
+			continue
+		}
+		entries = append(entries, nfs.DirEntry{FileID: d.children[name], Name: name, Cookie: ck})
+		if max > 0 && len(entries) >= max {
+			return entries, i == len(names)-1, nil
+		}
+	}
+	return entries, true, nil
+}
+
+// Attr builds the NFS attribute block for an inode.
+func (fs *FS) Attr(ino *Inode) *nfs.Fattr {
+	return &nfs.Fattr{
+		Type: ino.Type, Mode: ino.Mode, Nlink: ino.Nlink,
+		UID: ino.UID, GID: ino.GID,
+		Size: ino.Size, Used: ino.Used(),
+		FSID: 1, FileID: ino.ID,
+		Atime: nfs.TimeFromSeconds(ino.Atime),
+		Mtime: nfs.TimeFromSeconds(ino.Mtime),
+		Ctime: nfs.TimeFromSeconds(ino.Ctime),
+	}
+}
+
+// Path reconstructs the path of an inode from parent pointers, for
+// debugging and the filename analyses.
+func (fs *FS) Path(id uint64) string {
+	var parts []string
+	for id != fs.root {
+		ino := fs.inodes[id]
+		if ino == nil {
+			return "?" + path.Join(append([]string{"/"}, parts...)...)
+		}
+		parts = append([]string{ino.name}, parts...)
+		id = ino.parent
+		if len(parts) > 64 {
+			break
+		}
+	}
+	return "/" + strings.Join(parts, "/")
+}
+
+// MkdirAll creates every directory of a /-separated path, returning the
+// final directory's inode.
+func (fs *FS) MkdirAll(p string, uid, gid uint32) (*Inode, error) {
+	cur := fs.root
+	for _, part := range strings.Split(strings.Trim(p, "/"), "/") {
+		if part == "" {
+			continue
+		}
+		next, err := fs.Lookup(cur, part)
+		if errors.Is(err, ErrNotFound) {
+			next, err = fs.Mkdir(cur, part, uid, gid, 0755)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("mkdirall %q at %q: %w", p, part, err)
+		}
+		cur = next.ID
+	}
+	return fs.Get(cur)
+}
+
+// Usage reports a user's byte usage under quota accounting.
+func (fs *FS) Usage(uid uint32) uint64 { return fs.usage[uid] }
+
+func (fs *FS) chargeUser(uid uint32, delta int64) {
+	if delta >= 0 {
+		fs.usage[uid] += uint64(delta)
+		return
+	}
+	dec := uint64(-delta)
+	if fs.usage[uid] < dec {
+		fs.usage[uid] = 0
+		return
+	}
+	fs.usage[uid] -= dec
+}
+
+// TotalBytes reports the sum of all file sizes, for FSSTAT.
+func (fs *FS) TotalBytes() uint64 {
+	var total uint64
+	for _, ino := range fs.inodes {
+		if ino.Type == nfs.TypeReg {
+			total += ino.Size
+		}
+	}
+	return total
+}

@@ -1,0 +1,399 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nfs"
+)
+
+func newFS() *FS {
+	fs := New()
+	now := 0.0
+	fs.Clock = func() float64 { now += 0.001; return now }
+	return fs
+}
+
+func TestCreateLookup(t *testing.T) {
+	fs := newFS()
+	f, err := fs.Create(fs.Root(), "inbox", 501, 100, 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Lookup(fs.Root(), "inbox")
+	if err != nil || got.ID != f.ID {
+		t.Fatalf("lookup: %v %v", got, err)
+	}
+	if got.UID != 501 || got.GID != 100 || got.Type != nfs.TypeReg {
+		t.Fatalf("attrs: %+v", got)
+	}
+	if _, err := fs.Lookup(fs.Root(), "absent"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("lookup absent: %v", err)
+	}
+}
+
+func TestCreateDuplicate(t *testing.T) {
+	fs := newFS()
+	if _, err := fs.Create(fs.Root(), "f", 0, 0, 0644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create(fs.Root(), "f", 0, 0, 0644); !errors.Is(err, ErrExist) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+}
+
+func TestCreateBadNames(t *testing.T) {
+	fs := newFS()
+	for _, name := range []string{"", ".", "..", "a/b"} {
+		if _, err := fs.Create(fs.Root(), name, 0, 0, 0644); err == nil {
+			t.Errorf("created %q", name)
+		}
+	}
+	long := make([]byte, MaxNameLen+1)
+	for i := range long {
+		long[i] = 'x'
+	}
+	if _, err := fs.Create(fs.Root(), string(long), 0, 0, 0644); !errors.Is(err, ErrNameTooLong) {
+		t.Errorf("long name: %v", err)
+	}
+}
+
+func TestDotAndDotDot(t *testing.T) {
+	fs := newFS()
+	d, _ := fs.Mkdir(fs.Root(), "home", 0, 0, 0755)
+	sub, _ := fs.Mkdir(d.ID, "user1", 0, 0, 0755)
+	self, err := fs.Lookup(sub.ID, ".")
+	if err != nil || self.ID != sub.ID {
+		t.Fatalf("dot: %v %v", self, err)
+	}
+	up, err := fs.Lookup(sub.ID, "..")
+	if err != nil || up.ID != d.ID {
+		t.Fatalf("dotdot: %v %v", up, err)
+	}
+	rootUp, err := fs.Lookup(fs.Root(), "..")
+	if err != nil || rootUp.ID != fs.Root() {
+		t.Fatalf("root dotdot: %v %v", rootUp, err)
+	}
+}
+
+func TestWriteExtendsAndCharges(t *testing.T) {
+	fs := newFS()
+	f, _ := fs.Create(fs.Root(), "mbox", 501, 100, 0644)
+	prev, err := fs.Write(f.ID, 0, 5000, 501)
+	if err != nil || prev != 0 {
+		t.Fatalf("write: prev=%d err=%v", prev, err)
+	}
+	if f.Size != 5000 {
+		t.Fatalf("size = %d", f.Size)
+	}
+	if fs.Usage(501) != BlockSize {
+		t.Fatalf("usage = %d, want one block", fs.Usage(501))
+	}
+	// Overwrite within the file: size unchanged.
+	prev, err = fs.Write(f.ID, 1000, 1000, 501)
+	if err != nil || prev != 5000 || f.Size != 5000 {
+		t.Fatalf("overwrite: prev=%d size=%d err=%v", prev, f.Size, err)
+	}
+	// Append extends.
+	if _, err := fs.Write(f.ID, 5000, 20000, 501); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size != 25000 {
+		t.Fatalf("size after append = %d", f.Size)
+	}
+	if fs.Usage(501) != 4*BlockSize {
+		t.Fatalf("usage = %d, want 4 blocks", fs.Usage(501))
+	}
+}
+
+func TestQuotaEnforced(t *testing.T) {
+	fs := newFS()
+	fs.QuotaPerUID = 50 << 20 // CAMPUS default: 50MB
+	f, _ := fs.Create(fs.Root(), "big", 501, 100, 0644)
+	if _, err := fs.Write(f.ID, 0, 49<<20, 501); err != nil {
+		t.Fatalf("write under quota: %v", err)
+	}
+	if _, err := fs.Write(f.ID, 49<<20, 2<<20, 501); !errors.Is(err, ErrQuota) {
+		t.Fatalf("write over quota: %v", err)
+	}
+	// Freeing space by truncation allows writing again.
+	if _, err := fs.Truncate(f.ID, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Write(f.ID, 1<<20, 1<<20, 501); err != nil {
+		t.Fatalf("write after truncate: %v", err)
+	}
+}
+
+func TestReadSemantics(t *testing.T) {
+	fs := newFS()
+	f, _ := fs.Create(fs.Root(), "f", 0, 0, 0644)
+	fs.Write(f.ID, 0, 10000, 0)
+	n, eof, err := fs.Read(f.ID, 0, 8192)
+	if err != nil || n != 8192 || eof {
+		t.Fatalf("read1: n=%d eof=%v err=%v", n, eof, err)
+	}
+	n, eof, err = fs.Read(f.ID, 8192, 8192)
+	if err != nil || n != 1808 || !eof {
+		t.Fatalf("read2: n=%d eof=%v err=%v", n, eof, err)
+	}
+	n, eof, err = fs.Read(f.ID, 20000, 8192)
+	if err != nil || n != 0 || !eof {
+		t.Fatalf("read past eof: n=%d eof=%v err=%v", n, eof, err)
+	}
+}
+
+func TestTruncateLifecycle(t *testing.T) {
+	fs := newFS()
+	f, _ := fs.Create(fs.Root(), "f", 7, 7, 0644)
+	fs.Write(f.ID, 0, 100000, 7)
+	usage := fs.Usage(7)
+	prev, err := fs.Truncate(f.ID, 0)
+	if err != nil || prev != 100000 {
+		t.Fatalf("truncate: prev=%d err=%v", prev, err)
+	}
+	if fs.Usage(7) >= usage {
+		t.Fatalf("usage not released: %d", fs.Usage(7))
+	}
+	if f.Size != 0 {
+		t.Fatalf("size = %d", f.Size)
+	}
+}
+
+func TestRemoveFreesInode(t *testing.T) {
+	fs := newFS()
+	f, _ := fs.Create(fs.Root(), "scratch", 3, 3, 0644)
+	fs.Write(f.ID, 0, 8192, 3)
+	n := fs.NumInodes()
+	if err := fs.Remove(fs.Root(), "scratch"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.NumInodes() != n-1 {
+		t.Fatalf("inodes = %d, want %d", fs.NumInodes(), n-1)
+	}
+	if fs.Usage(3) != 0 {
+		t.Fatalf("usage = %d", fs.Usage(3))
+	}
+	if _, err := fs.Get(f.ID); !errors.Is(err, ErrStale) {
+		t.Fatalf("stale get: %v", err)
+	}
+	if err := fs.Remove(fs.Root(), "scratch"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double remove: %v", err)
+	}
+}
+
+func TestRemoveDirectoryFails(t *testing.T) {
+	fs := newFS()
+	fs.Mkdir(fs.Root(), "d", 0, 0, 0755)
+	if err := fs.Remove(fs.Root(), "d"); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("remove dir: %v", err)
+	}
+}
+
+func TestRmdir(t *testing.T) {
+	fs := newFS()
+	d, _ := fs.Mkdir(fs.Root(), "d", 0, 0, 0755)
+	fs.Create(d.ID, "f", 0, 0, 0644)
+	if err := fs.Rmdir(fs.Root(), "d"); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("rmdir non-empty: %v", err)
+	}
+	fs.Remove(d.ID, "f")
+	if err := fs.Rmdir(fs.Root(), "d"); err != nil {
+		t.Fatalf("rmdir empty: %v", err)
+	}
+	if _, err := fs.Lookup(fs.Root(), "d"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("dir still visible")
+	}
+}
+
+func TestHardLinks(t *testing.T) {
+	fs := newFS()
+	f, _ := fs.Create(fs.Root(), "a", 0, 0, 0644)
+	if err := fs.Link(f.ID, fs.Root(), "b"); err != nil {
+		t.Fatal(err)
+	}
+	if f.Nlink != 2 {
+		t.Fatalf("nlink = %d", f.Nlink)
+	}
+	if err := fs.Remove(fs.Root(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	// Still alive via b.
+	if _, err := fs.Get(f.ID); err != nil {
+		t.Fatalf("inode freed early: %v", err)
+	}
+	if err := fs.Remove(fs.Root(), "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Get(f.ID); !errors.Is(err, ErrStale) {
+		t.Fatal("inode not freed")
+	}
+}
+
+func TestRenameBasic(t *testing.T) {
+	fs := newFS()
+	f, _ := fs.Create(fs.Root(), "old", 0, 0, 0644)
+	if err := fs.Rename(fs.Root(), "old", fs.Root(), "new"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Lookup(fs.Root(), "old"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("old name visible")
+	}
+	got, err := fs.Lookup(fs.Root(), "new")
+	if err != nil || got.ID != f.ID {
+		t.Fatalf("new name: %v %v", got, err)
+	}
+}
+
+func TestRenameReplacesTarget(t *testing.T) {
+	fs := newFS()
+	fs.Create(fs.Root(), "src", 0, 0, 0644)
+	victim, _ := fs.Create(fs.Root(), "dst", 0, 0, 0644)
+	if err := fs.Rename(fs.Root(), "src", fs.Root(), "dst"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Get(victim.ID); !errors.Is(err, ErrStale) {
+		t.Fatal("victim survived rename")
+	}
+}
+
+func TestRenameAcrossDirs(t *testing.T) {
+	fs := newFS()
+	d1, _ := fs.Mkdir(fs.Root(), "d1", 0, 0, 0755)
+	d2, _ := fs.Mkdir(fs.Root(), "d2", 0, 0, 0755)
+	sub, _ := fs.Mkdir(d1.ID, "sub", 0, 0, 0755)
+	if err := fs.Rename(d1.ID, "sub", d2.ID, "sub2"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Lookup(d2.ID, "sub2")
+	if err != nil || got.ID != sub.ID {
+		t.Fatalf("moved dir: %v %v", got, err)
+	}
+	// Directory nlink bookkeeping: d1 loses a child dir, d2 gains one.
+	if d1.Nlink != 2 || d2.Nlink != 3 {
+		t.Fatalf("nlinks: d1=%d d2=%d", d1.Nlink, d2.Nlink)
+	}
+}
+
+func TestReaddirPagination(t *testing.T) {
+	fs := newFS()
+	names := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	for _, n := range names {
+		fs.Create(fs.Root(), n, 0, 0, 0644)
+	}
+	var all []string
+	cookie := uint64(0)
+	for {
+		entries, done, err := fs.Readdir(fs.Root(), cookie, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			all = append(all, e.Name)
+			cookie = e.Cookie
+		}
+		if done {
+			break
+		}
+	}
+	if len(all) != 5 {
+		t.Fatalf("entries = %v", all)
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1] >= all[i] {
+			t.Fatalf("not sorted: %v", all)
+		}
+	}
+}
+
+func TestSymlink(t *testing.T) {
+	fs := newFS()
+	l, err := fs.Symlink(fs.Root(), "link", "/target/path", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Type != nfs.TypeLnk || l.Target != "/target/path" || l.Size != 12 {
+		t.Fatalf("symlink: %+v", l)
+	}
+}
+
+func TestMkdirAllAndPath(t *testing.T) {
+	fs := newFS()
+	d, err := fs.MkdirAll("/home/user7/mail", 7, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Path(d.ID); got != "/home/user7/mail" {
+		t.Fatalf("path = %q", got)
+	}
+	// Idempotent.
+	d2, err := fs.MkdirAll("/home/user7/mail", 7, 7)
+	if err != nil || d2.ID != d.ID {
+		t.Fatalf("mkdirall again: %v %v", d2, err)
+	}
+}
+
+func TestAttrReflectsInode(t *testing.T) {
+	fs := newFS()
+	f, _ := fs.Create(fs.Root(), "f", 42, 43, 0600)
+	fs.Write(f.ID, 0, 12345, 42)
+	a := fs.Attr(f)
+	if a.Size != 12345 || a.UID != 42 || a.GID != 43 || a.Mode != 0600 || a.FileID != f.ID {
+		t.Fatalf("attr: %+v", a)
+	}
+	if a.Used != 2*BlockSize {
+		t.Fatalf("used = %d", a.Used)
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	fs := newFS()
+	a, _ := fs.Create(fs.Root(), "a", 0, 0, 0644)
+	b, _ := fs.Create(fs.Root(), "b", 0, 0, 0644)
+	fs.Write(a.ID, 0, 100, 0)
+	fs.Write(b.ID, 0, 200, 0)
+	if got := fs.TotalBytes(); got != 300 {
+		t.Fatalf("total = %d", got)
+	}
+}
+
+func TestUsageNeverNegative(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		fs := newFS()
+		ino, _ := fs.Create(fs.Root(), "f", 1, 1, 0644)
+		for _, s := range sizes {
+			fs.Truncate(ino.ID, uint64(s))
+		}
+		fs.Truncate(ino.ID, 0)
+		return fs.Usage(1) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLookupOnFileFails(t *testing.T) {
+	fs := newFS()
+	f, _ := fs.Create(fs.Root(), "f", 0, 0, 0644)
+	if _, err := fs.Lookup(f.ID, "x"); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("lookup on file: %v", err)
+	}
+	if _, _, err := fs.Readdir(f.ID, 0, 0); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("readdir on file: %v", err)
+	}
+}
+
+func TestGetFHStale(t *testing.T) {
+	fs := newFS()
+	if _, err := fs.GetFH(nfs.MakeFH(99999)); !errors.Is(err, ErrStale) {
+		t.Fatalf("stale fh: %v", err)
+	}
+	if _, err := fs.GetFH(nfs.FH{1, 2}); !errors.Is(err, ErrStale) {
+		t.Fatalf("short fh: %v", err)
+	}
+	ino, err := fs.GetFH(fs.RootFH())
+	if err != nil || ino.ID != fs.Root() {
+		t.Fatalf("root fh: %v %v", ino, err)
+	}
+}

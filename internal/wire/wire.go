@@ -1,0 +1,385 @@
+// Package wire encodes and decodes the network framing beneath NFS:
+// Ethernet II frames, IPv4 headers, and UDP/TCP transport headers,
+// including the 9000-byte jumbo frames the CAMPUS network used. The
+// sniffer parses these layers off captured packets; the traffic
+// generator builds them.
+//
+// Only the fields the tracer needs are modeled: addressing, lengths,
+// protocol numbers, TCP sequence numbers and flags. IP fragmentation is
+// supported on decode (fragments are flagged, and a Defragmenter
+// reassembles them) because UDP NFS traffic on standard-MTU networks
+// fragments heavily.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Link and transport constants.
+const (
+	EtherTypeIPv4 = 0x0800
+	ProtoTCP      = 6
+	ProtoUDP      = 17
+
+	EthernetHeaderLen = 14
+	IPv4HeaderLen     = 20
+	UDPHeaderLen      = 8
+	TCPHeaderLen      = 20
+
+	// StandardMTU is the classic Ethernet payload limit; JumboMTU is
+	// the 9000-byte jumbo frame payload used on the CAMPUS gigabit net.
+	StandardMTU = 1500
+	JumboMTU    = 9000
+)
+
+// ErrTruncated reports a frame too short for its claimed headers.
+var ErrTruncated = errors.New("wire: truncated packet")
+
+// MAC is a 6-byte Ethernet address.
+type MAC [6]byte
+
+// IP is a 4-byte IPv4 address.
+type IP [4]byte
+
+// String renders the address in dotted-quad form.
+func (ip IP) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", ip[0], ip[1], ip[2], ip[3])
+}
+
+// IPFromUint32 builds an address from a host-order integer.
+func IPFromUint32(v uint32) IP {
+	return IP{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}
+}
+
+// Uint32 returns the address as a host-order integer.
+func (ip IP) Uint32() uint32 {
+	return uint32(ip[0])<<24 | uint32(ip[1])<<16 | uint32(ip[2])<<8 | uint32(ip[3])
+}
+
+// TCP flag bits.
+const (
+	FlagFIN = 0x01
+	FlagSYN = 0x02
+	FlagRST = 0x04
+	FlagPSH = 0x08
+	FlagACK = 0x10
+)
+
+// Frame is a decoded packet: the layers beneath one NFS message (or one
+// fragment of one).
+type Frame struct {
+	SrcMAC, DstMAC MAC
+	SrcIP, DstIP   IP
+	Proto          uint8 // ProtoTCP or ProtoUDP
+	SrcPort        uint16
+	DstPort        uint16
+
+	// IP fragmentation state.
+	IPID       uint16
+	FragOffset uint16 // in bytes
+	MoreFrags  bool
+	IsFragment bool // FragOffset > 0 || MoreFrags
+
+	// TCP state (valid when Proto == ProtoTCP).
+	Seq   uint32
+	Ack   uint32
+	Flags uint8
+
+	// Payload is the transport payload (for first fragments, includes
+	// the UDP header's payload; for subsequent fragments, raw bytes).
+	Payload []byte
+}
+
+// checksum computes the RFC 1071 internet checksum.
+func checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum > 0xFFFF {
+		sum = (sum >> 16) + (sum & 0xFFFF)
+	}
+	return ^uint16(sum)
+}
+
+// BuildUDP assembles a full Ethernet+IPv4+UDP frame around payload.
+func BuildUDP(src, dst IP, srcPort, dstPort uint16, ipid uint16, payload []byte) []byte {
+	totalIP := IPv4HeaderLen + UDPHeaderLen + len(payload)
+	buf := make([]byte, EthernetHeaderLen+totalIP)
+	buildEthernet(buf, src, dst)
+	buildIPv4(buf[EthernetHeaderLen:], src, dst, ProtoUDP, ipid, 0, false, totalIP)
+	udp := buf[EthernetHeaderLen+IPv4HeaderLen:]
+	binary.BigEndian.PutUint16(udp[0:2], srcPort)
+	binary.BigEndian.PutUint16(udp[2:4], dstPort)
+	binary.BigEndian.PutUint16(udp[4:6], uint16(UDPHeaderLen+len(payload)))
+	// Checksum 0 = unset, permitted for UDP/IPv4 and common on NFS nets.
+	copy(udp[UDPHeaderLen:], payload)
+	return buf
+}
+
+// BuildTCP assembles a full Ethernet+IPv4+TCP frame around payload.
+func BuildTCP(src, dst IP, srcPort, dstPort uint16, ipid uint16, seq, ack uint32, flags uint8, payload []byte) []byte {
+	totalIP := IPv4HeaderLen + TCPHeaderLen + len(payload)
+	buf := make([]byte, EthernetHeaderLen+totalIP)
+	buildEthernet(buf, src, dst)
+	buildIPv4(buf[EthernetHeaderLen:], src, dst, ProtoTCP, ipid, 0, false, totalIP)
+	tcp := buf[EthernetHeaderLen+IPv4HeaderLen:]
+	binary.BigEndian.PutUint16(tcp[0:2], srcPort)
+	binary.BigEndian.PutUint16(tcp[2:4], dstPort)
+	binary.BigEndian.PutUint32(tcp[4:8], seq)
+	binary.BigEndian.PutUint32(tcp[8:12], ack)
+	tcp[12] = (TCPHeaderLen / 4) << 4 // data offset
+	tcp[13] = flags
+	binary.BigEndian.PutUint16(tcp[14:16], 65535) // window
+	copy(tcp[TCPHeaderLen:], payload)
+	return buf
+}
+
+// FragmentUDP builds one or more frames carrying payload as a UDP
+// datagram fragmented to fit mtu bytes of IP packet per frame. With a
+// large enough mtu it returns a single unfragmented frame.
+func FragmentUDP(src, dst IP, srcPort, dstPort uint16, ipid uint16, payload []byte, mtu int) [][]byte {
+	if mtu <= 0 {
+		mtu = StandardMTU
+	}
+	datagram := make([]byte, UDPHeaderLen+len(payload))
+	binary.BigEndian.PutUint16(datagram[0:2], srcPort)
+	binary.BigEndian.PutUint16(datagram[2:4], dstPort)
+	binary.BigEndian.PutUint16(datagram[4:6], uint16(len(datagram)))
+	copy(datagram[UDPHeaderLen:], payload)
+
+	maxData := mtu - IPv4HeaderLen
+	maxData -= maxData % 8 // fragment offsets are in 8-byte units
+	if len(datagram) <= maxData {
+		return [][]byte{BuildUDP(src, dst, srcPort, dstPort, ipid, payload)}
+	}
+	var frames [][]byte
+	for off := 0; off < len(datagram); off += maxData {
+		end := off + maxData
+		more := true
+		if end >= len(datagram) {
+			end = len(datagram)
+			more = false
+		}
+		chunk := datagram[off:end]
+		totalIP := IPv4HeaderLen + len(chunk)
+		buf := make([]byte, EthernetHeaderLen+totalIP)
+		buildEthernet(buf, src, dst)
+		buildIPv4(buf[EthernetHeaderLen:], src, dst, ProtoUDP, ipid, uint16(off), more, totalIP)
+		copy(buf[EthernetHeaderLen+IPv4HeaderLen:], chunk)
+		frames = append(frames, buf)
+	}
+	return frames
+}
+
+func buildEthernet(buf []byte, src, dst IP) {
+	// Derive stable MACs from the IPs; the tracer never uses them, but
+	// real frames have them.
+	copy(buf[0:6], []byte{0x02, 0, dst[0], dst[1], dst[2], dst[3]})
+	copy(buf[6:12], []byte{0x02, 0, src[0], src[1], src[2], src[3]})
+	binary.BigEndian.PutUint16(buf[12:14], EtherTypeIPv4)
+}
+
+func buildIPv4(buf []byte, src, dst IP, proto uint8, ipid uint16, fragOff uint16, more bool, totalLen int) {
+	buf[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(buf[2:4], uint16(totalLen))
+	binary.BigEndian.PutUint16(buf[4:6], ipid)
+	frag := fragOff / 8
+	if more {
+		frag |= 0x2000 // MF
+	}
+	binary.BigEndian.PutUint16(buf[6:8], frag)
+	buf[8] = 64 // TTL
+	buf[9] = proto
+	copy(buf[12:16], src[:])
+	copy(buf[16:20], dst[:])
+	binary.BigEndian.PutUint16(buf[10:12], 0)
+	binary.BigEndian.PutUint16(buf[10:12], checksum(buf[:IPv4HeaderLen]))
+}
+
+// Decode parses an Ethernet frame down to its transport payload.
+func Decode(b []byte) (*Frame, error) {
+	if len(b) < EthernetHeaderLen {
+		return nil, ErrTruncated
+	}
+	var f Frame
+	copy(f.DstMAC[:], b[0:6])
+	copy(f.SrcMAC[:], b[6:12])
+	if binary.BigEndian.Uint16(b[12:14]) != EtherTypeIPv4 {
+		return nil, fmt.Errorf("wire: not IPv4 (ethertype %#04x)", binary.BigEndian.Uint16(b[12:14]))
+	}
+	ip := b[EthernetHeaderLen:]
+	if len(ip) < IPv4HeaderLen {
+		return nil, ErrTruncated
+	}
+	if ip[0]>>4 != 4 {
+		return nil, fmt.Errorf("wire: IP version %d", ip[0]>>4)
+	}
+	ihl := int(ip[0]&0x0F) * 4
+	if ihl < IPv4HeaderLen || len(ip) < ihl {
+		return nil, ErrTruncated
+	}
+	totalLen := int(binary.BigEndian.Uint16(ip[2:4]))
+	if totalLen > len(ip) {
+		return nil, ErrTruncated
+	}
+	f.IPID = binary.BigEndian.Uint16(ip[4:6])
+	frag := binary.BigEndian.Uint16(ip[6:8])
+	f.MoreFrags = frag&0x2000 != 0
+	f.FragOffset = (frag & 0x1FFF) * 8
+	f.IsFragment = f.MoreFrags || f.FragOffset > 0
+	f.Proto = ip[9]
+	copy(f.SrcIP[:], ip[12:16])
+	copy(f.DstIP[:], ip[16:20])
+	payload := ip[ihl:totalLen]
+
+	if f.IsFragment && f.FragOffset > 0 {
+		// Non-first fragment: no transport header to parse.
+		f.Payload = payload
+		return &f, nil
+	}
+
+	switch f.Proto {
+	case ProtoUDP:
+		if len(payload) < UDPHeaderLen {
+			return nil, ErrTruncated
+		}
+		f.SrcPort = binary.BigEndian.Uint16(payload[0:2])
+		f.DstPort = binary.BigEndian.Uint16(payload[2:4])
+		f.Payload = payload[UDPHeaderLen:]
+	case ProtoTCP:
+		if len(payload) < TCPHeaderLen {
+			return nil, ErrTruncated
+		}
+		f.SrcPort = binary.BigEndian.Uint16(payload[0:2])
+		f.DstPort = binary.BigEndian.Uint16(payload[2:4])
+		f.Seq = binary.BigEndian.Uint32(payload[4:8])
+		f.Ack = binary.BigEndian.Uint32(payload[8:12])
+		dataOff := int(payload[12]>>4) * 4
+		if dataOff < TCPHeaderLen || len(payload) < dataOff {
+			return nil, ErrTruncated
+		}
+		f.Flags = payload[13]
+		f.Payload = payload[dataOff:]
+	default:
+		return nil, fmt.Errorf("wire: unsupported IP protocol %d", f.Proto)
+	}
+	return &f, nil
+}
+
+// FlowKey identifies one direction of one transport flow.
+type FlowKey struct {
+	SrcIP, DstIP     IP
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// Flow returns the frame's flow key.
+func (f *Frame) Flow() FlowKey {
+	return FlowKey{SrcIP: f.SrcIP, DstIP: f.DstIP, SrcPort: f.SrcPort, DstPort: f.DstPort, Proto: f.Proto}
+}
+
+// Reverse returns the opposite direction's key.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{SrcIP: k.DstIP, DstIP: k.SrcIP, SrcPort: k.DstPort, DstPort: k.SrcPort, Proto: k.Proto}
+}
+
+// fragKey identifies an in-progress IP reassembly.
+type fragKey struct {
+	src, dst IP
+	id       uint16
+	proto    uint8
+}
+
+type fragState struct {
+	chunks   map[uint16][]byte // offset → bytes
+	haveLast bool
+	lastEnd  int
+}
+
+// Defragmenter reassembles fragmented IPv4 datagrams. Feed it every
+// decoded frame; it returns a synthesized unfragmented Frame when a
+// datagram completes, or nil.
+type Defragmenter struct {
+	pending map[fragKey]*fragState
+}
+
+// NewDefragmenter returns an empty reassembler.
+func NewDefragmenter() *Defragmenter {
+	return &Defragmenter{pending: make(map[fragKey]*fragState)}
+}
+
+// Pending reports the number of incomplete datagrams held.
+func (df *Defragmenter) Pending() int { return len(df.pending) }
+
+// Add processes one frame. Unfragmented frames are returned unchanged.
+// Fragments are buffered; when all pieces of a datagram have arrived the
+// reassembled frame is returned (with transport header parsed).
+func (df *Defragmenter) Add(f *Frame) *Frame {
+	if !f.IsFragment {
+		return f
+	}
+	key := fragKey{src: f.SrcIP, dst: f.DstIP, id: f.IPID, proto: f.Proto}
+	st := df.pending[key]
+	if st == nil {
+		st = &fragState{chunks: make(map[uint16][]byte)}
+		df.pending[key] = st
+	}
+	var raw []byte
+	if f.FragOffset == 0 {
+		// First fragment: restore the UDP header so reassembly yields
+		// the original datagram. (TCP is never fragmented by our nets.)
+		raw = make([]byte, UDPHeaderLen+len(f.Payload))
+		binary.BigEndian.PutUint16(raw[0:2], f.SrcPort)
+		binary.BigEndian.PutUint16(raw[2:4], f.DstPort)
+		copy(raw[UDPHeaderLen:], f.Payload)
+	} else {
+		raw = f.Payload
+	}
+	st.chunks[f.FragOffset] = raw
+	if !f.MoreFrags {
+		st.haveLast = true
+		st.lastEnd = int(f.FragOffset) + len(raw)
+	}
+	if !st.haveLast {
+		return nil
+	}
+	// Check contiguity.
+	datagram := make([]byte, st.lastEnd)
+	covered := 0
+	for off, chunk := range st.chunks {
+		if int(off)+len(chunk) > st.lastEnd {
+			continue
+		}
+		copy(datagram[off:], chunk)
+		covered += len(chunk)
+	}
+	if covered < st.lastEnd {
+		return nil // holes remain
+	}
+	delete(df.pending, key)
+	if len(datagram) < UDPHeaderLen {
+		return nil
+	}
+	out := *f
+	out.IsFragment = false
+	out.MoreFrags = false
+	out.FragOffset = 0
+	out.SrcPort = binary.BigEndian.Uint16(datagram[0:2])
+	out.DstPort = binary.BigEndian.Uint16(datagram[2:4])
+	out.Payload = datagram[UDPHeaderLen:]
+	return &out
+}
+
+// Evict drops all pending reassemblies, modeling timeout of lost
+// fragments, and reports how many datagrams were abandoned.
+func (df *Defragmenter) Evict() int {
+	n := len(df.pending)
+	df.pending = make(map[fragKey]*fragState)
+	return n
+}

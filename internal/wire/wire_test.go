@@ -1,0 +1,221 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	clientIP = IP{10, 0, 0, 5}
+	serverIP = IP{10, 0, 0, 1}
+)
+
+func TestUDPRoundTrip(t *testing.T) {
+	payload := []byte("nfs call body")
+	frame := BuildUDP(clientIP, serverIP, 1023, 2049, 42, payload)
+	f, err := Decode(frame)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if f.Proto != ProtoUDP || f.SrcPort != 1023 || f.DstPort != 2049 {
+		t.Fatalf("header: %+v", f)
+	}
+	if f.SrcIP != clientIP || f.DstIP != serverIP {
+		t.Fatalf("addrs: %v → %v", f.SrcIP, f.DstIP)
+	}
+	if !bytes.Equal(f.Payload, payload) {
+		t.Fatalf("payload %q", f.Payload)
+	}
+	if f.IsFragment {
+		t.Fatal("unfragmented frame flagged as fragment")
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	payload := []byte("rpc over tcp")
+	frame := BuildTCP(clientIP, serverIP, 800, 2049, 7, 1000, 2000, FlagPSH|FlagACK, payload)
+	f, err := Decode(frame)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if f.Proto != ProtoTCP || f.Seq != 1000 || f.Ack != 2000 {
+		t.Fatalf("header: %+v", f)
+	}
+	if f.Flags != FlagPSH|FlagACK {
+		t.Fatalf("flags %#x", f.Flags)
+	}
+	if !bytes.Equal(f.Payload, payload) {
+		t.Fatalf("payload %q", f.Payload)
+	}
+}
+
+func TestUDPRoundTripQuick(t *testing.T) {
+	f := func(payload []byte, sport, dport uint16) bool {
+		frame := BuildUDP(clientIP, serverIP, sport, dport, 1, payload)
+		dec, err := Decode(frame)
+		if err != nil {
+			return false
+		}
+		return dec.SrcPort == sport && dec.DstPort == dport && bytes.Equal(dec.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	frame := BuildUDP(clientIP, serverIP, 1, 2, 3, []byte("hello"))
+	for _, n := range []int{0, 5, EthernetHeaderLen - 1, EthernetHeaderLen + 3, EthernetHeaderLen + IPv4HeaderLen + 2} {
+		if n > len(frame) {
+			continue
+		}
+		if _, err := Decode(frame[:n]); err == nil {
+			t.Errorf("truncation at %d accepted", n)
+		}
+	}
+}
+
+func TestDecodeNonIP(t *testing.T) {
+	frame := BuildUDP(clientIP, serverIP, 1, 2, 3, nil)
+	frame[12], frame[13] = 0x08, 0x06 // ARP
+	if _, err := Decode(frame); err == nil {
+		t.Error("ARP frame accepted")
+	}
+}
+
+func TestIPString(t *testing.T) {
+	if s := clientIP.String(); s != "10.0.0.5" {
+		t.Errorf("String = %q", s)
+	}
+	if got := IPFromUint32(clientIP.Uint32()); got != clientIP {
+		t.Errorf("uint32 round trip: %v", got)
+	}
+}
+
+func TestFragmentationRoundTrip(t *testing.T) {
+	// An 8k NFS read reply over standard MTU must fragment and
+	// reassemble byte-exactly.
+	payload := make([]byte, 8192)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	frames := FragmentUDP(serverIP, clientIP, 2049, 1023, 99, payload, StandardMTU)
+	if len(frames) < 2 {
+		t.Fatalf("8k payload produced %d frames at MTU 1500", len(frames))
+	}
+	df := NewDefragmenter()
+	var result *Frame
+	for i, raw := range frames {
+		f, err := Decode(raw)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !f.IsFragment {
+			t.Fatalf("frame %d not marked as fragment", i)
+		}
+		if got := df.Add(f); got != nil {
+			if result != nil {
+				t.Fatal("multiple reassemblies")
+			}
+			result = got
+		}
+	}
+	if result == nil {
+		t.Fatal("datagram never completed")
+	}
+	if !bytes.Equal(result.Payload, payload) {
+		t.Fatalf("reassembled %d bytes, want %d", len(result.Payload), len(payload))
+	}
+	if result.SrcPort != 2049 || result.DstPort != 1023 {
+		t.Fatalf("ports lost: %d→%d", result.SrcPort, result.DstPort)
+	}
+	if df.Pending() != 0 {
+		t.Fatalf("%d reassemblies leaked", df.Pending())
+	}
+}
+
+func TestFragmentationOutOfOrder(t *testing.T) {
+	payload := make([]byte, 4000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	frames := FragmentUDP(serverIP, clientIP, 2049, 700, 5, payload, StandardMTU)
+	df := NewDefragmenter()
+	var result *Frame
+	// Deliver in reverse order.
+	for i := len(frames) - 1; i >= 0; i-- {
+		f, err := Decode(frames[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := df.Add(f); got != nil {
+			result = got
+		}
+	}
+	if result == nil || !bytes.Equal(result.Payload, payload) {
+		t.Fatal("out-of-order reassembly failed")
+	}
+}
+
+func TestFragmentLossLeavesPending(t *testing.T) {
+	payload := make([]byte, 4000)
+	frames := FragmentUDP(serverIP, clientIP, 2049, 700, 5, payload, StandardMTU)
+	if len(frames) < 3 {
+		t.Fatalf("want ≥3 fragments, got %d", len(frames))
+	}
+	df := NewDefragmenter()
+	for i, raw := range frames {
+		if i == 1 {
+			continue // drop the middle fragment
+		}
+		f, _ := Decode(raw)
+		if got := df.Add(f); got != nil {
+			t.Fatal("completed despite loss")
+		}
+	}
+	if df.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", df.Pending())
+	}
+	if n := df.Evict(); n != 1 {
+		t.Fatalf("evicted %d", n)
+	}
+}
+
+func TestJumboFrameSingleFragment(t *testing.T) {
+	// With jumbo frames an 8k payload fits in one frame — the CAMPUS
+	// configuration.
+	payload := make([]byte, 8192)
+	frames := FragmentUDP(serverIP, clientIP, 2049, 700, 5, payload, JumboMTU)
+	if len(frames) != 1 {
+		t.Fatalf("jumbo MTU produced %d frames, want 1", len(frames))
+	}
+	f, err := Decode(frames[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.IsFragment {
+		t.Fatal("jumbo frame marked as fragment")
+	}
+	if len(f.Payload) != 8192 {
+		t.Fatalf("payload %d", len(f.Payload))
+	}
+}
+
+func TestFlowKeyReverse(t *testing.T) {
+	frame := BuildUDP(clientIP, serverIP, 1023, 2049, 1, nil)
+	f, _ := Decode(frame)
+	k := f.Flow()
+	r := k.Reverse()
+	if r.SrcIP != serverIP || r.DstPort != 1023 || r.Reverse() != k {
+		t.Fatalf("reverse: %+v", r)
+	}
+}
+
+func TestChecksumValid(t *testing.T) {
+	frame := BuildUDP(clientIP, serverIP, 1, 2, 3, []byte("x"))
+	ip := frame[EthernetHeaderLen : EthernetHeaderLen+IPv4HeaderLen]
+	if checksum(ip) != 0 {
+		t.Fatalf("IP header checksum does not verify: %#04x", checksum(ip))
+	}
+}

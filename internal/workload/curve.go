@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Time conventions: the trace epoch (t=0) is Sunday 00:00 local time,
+// matching the paper's analysis week of Sunday 10/21/2001 through
+// Saturday 10/27/2001. Peak hours are 9:00–18:00 on weekdays (§6.2).
+
+const (
+	// Hour, Day, and Week are in seconds.
+	Hour = 3600.0
+	Day  = 24 * Hour
+	Week = 7 * Day
+)
+
+// HourOfWeek returns the hour index 0..167 for a time.
+func HourOfWeek(t float64) int {
+	h := int(t/Hour) % 168
+	if h < 0 {
+		h += 168
+	}
+	return h
+}
+
+// IsPeak reports whether t falls in the paper's peak window:
+// 9am–6pm Monday through Friday.
+func IsPeak(t float64) bool {
+	h := HourOfWeek(t)
+	day := h / 24 // 0 = Sunday
+	hod := h % 24
+	return day >= 1 && day <= 5 && hod >= 9 && hod < 18
+}
+
+// DiurnalCurve is a 168-hour weight vector; weight 1.0 is the weekday
+// business-hours level.
+type DiurnalCurve [168]float64
+
+// hourShape is the within-day shape for a working population: quiet
+// nights, morning ramp, busy 9–18, evening shoulder.
+var hourShape = [24]float64{
+	0.06, 0.04, 0.03, 0.03, 0.04, 0.06, // 0–5
+	0.12, 0.25, 0.55, 0.90, 1.00, 1.00, // 6–11
+	0.95, 1.00, 1.00, 1.00, 0.95, 0.90, // 12–17
+	0.70, 0.55, 0.45, 0.35, 0.22, 0.12, // 18–23
+}
+
+// NewDiurnalCurve builds the weekly curve: full weekday shape,
+// weekends damped. weekend is the weekend attenuation (e.g. 0.35).
+func NewDiurnalCurve(weekend float64) *DiurnalCurve {
+	var c DiurnalCurve
+	for h := 0; h < 168; h++ {
+		day := h / 24
+		w := hourShape[h%24]
+		if day == 0 || day == 6 { // Sunday, Saturday
+			w *= weekend
+		}
+		c[h] = w
+	}
+	return &c
+}
+
+// Weight returns the curve value at time t.
+func (c *DiurnalCurve) Weight(t float64) float64 { return c[HourOfWeek(t)] }
+
+// DailySum returns the sum of weights over a weekday (hours 24..47,
+// i.e. Monday), used to convert per-day event budgets into hourly rates.
+func (c *DiurnalCurve) DailySum() float64 {
+	var s float64
+	for h := 24; h < 48; h++ {
+		s += c[h]
+	}
+	return s
+}
+
+// PoissonSchedule invokes schedule(t) for each event of an
+// inhomogeneous Poisson process with perDay expected events per weekday
+// equivalent, over [from, to), using Lewis thinning.
+func PoissonSchedule(rng *rand.Rand, curve *DiurnalCurve, perDay float64,
+	from, to float64, schedule func(t float64)) {
+
+	if perDay <= 0 {
+		return
+	}
+	// Peak rate: events/sec at weight 1.0.
+	peak := perDay / (curve.DailySum() * Hour)
+	t := from
+	for {
+		t += rng.ExpFloat64() / peak
+		if t >= to {
+			return
+		}
+		if rng.Float64() < curve.Weight(t) {
+			schedule(t)
+		}
+	}
+}
+
+// LogNormal draws a lognormal sample with the given median and sigma
+// (of the underlying normal).
+func LogNormal(rng *rand.Rand, median, sigma float64) float64 {
+	return median * math.Exp(rng.NormFloat64()*sigma)
+}

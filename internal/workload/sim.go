@@ -1,0 +1,80 @@
+// Package workload generates the two traced systems' traffic: CAMPUS
+// (the university's central email environment: 10,000 accounts, POP and
+// login servers, mailboxes, lock files, diurnal rhythm — scaled down by
+// a configurable user count) and EECS (a CS-department home-directory
+// server: metadata-dominated, write-heavy, browser caches, builds, log
+// files).
+//
+// The generators drive simulated per-host NFS clients (with their
+// caches and nfsiod pools) against a simulated server, emitting the
+// trace records a perfectly positioned sniffer would capture. All
+// randomness is seeded, so traces are reproducible.
+package workload
+
+import "container/heap"
+
+// Sim is a minimal discrete-event simulator: schedule closures at
+// absolute times, run until the horizon.
+type Sim struct {
+	// Now is the current simulation time in seconds.
+	Now float64
+	// End is the horizon; events at or past it are dropped.
+	End float64
+
+	q eventHeap
+}
+
+type event struct {
+	t   float64
+	seq int64 // tiebreaker for deterministic ordering
+	fn  func(t float64)
+}
+
+type eventHeap struct {
+	items []event
+	seq   int64
+}
+
+func (h eventHeap) Len() int { return len(h.items) }
+func (h eventHeap) Less(i, j int) bool {
+	if h.items[i].t != h.items[j].t {
+		return h.items[i].t < h.items[j].t
+	}
+	return h.items[i].seq < h.items[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *eventHeap) Push(x any)   { h.items = append(h.items, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}
+
+// At schedules fn to run at time t. Events past the horizon are
+// silently dropped; events in the past run at the current time.
+func (s *Sim) At(t float64, fn func(t float64)) {
+	if t >= s.End {
+		return
+	}
+	if t < s.Now {
+		t = s.Now
+	}
+	s.q.seq++
+	heap.Push(&s.q, event{t: t, seq: s.q.seq, fn: fn})
+}
+
+// Run processes events in time order until the queue empties or the
+// horizon passes.
+func (s *Sim) Run() {
+	for s.q.Len() > 0 {
+		ev := heap.Pop(&s.q).(event)
+		if ev.t >= s.End {
+			continue
+		}
+		s.Now = ev.t
+		ev.fn(ev.t)
+	}
+	s.Now = s.End
+}

@@ -1,0 +1,209 @@
+// Package xdr implements the External Data Representation standard
+// (RFC 4506) as used by ONC RPC and NFS: big-endian 32/64-bit integers,
+// variable and fixed-length opaque data with 4-byte padding, strings,
+// booleans, and counted arrays.
+//
+// The Encoder appends to an internal buffer; the Decoder consumes a byte
+// slice without copying. Both are deliberately simple — NFS packet
+// decoding is the hot path of the sniffer, and all decoding works on
+// sub-slices of a single packet buffer.
+package xdr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrShortBuffer is returned when a decode runs off the end of the input.
+var ErrShortBuffer = errors.New("xdr: short buffer")
+
+// ErrTooLong is returned when a counted item exceeds the decoder's
+// sanity limit, which guards against corrupt or hostile length fields.
+var ErrTooLong = errors.New("xdr: item exceeds maximum length")
+
+// MaxItemLen bounds any single variable-length item (opaque, string,
+// array count). NFS payloads never legitimately exceed this.
+const MaxItemLen = 1 << 24
+
+func pad(n int) int { return (4 - n%4) % 4 }
+
+// Encoder serializes values in XDR format. The zero value is ready for
+// use; Bytes returns the accumulated buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder with capacity preallocated.
+func NewEncoder(capacity int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded buffer. The slice is owned by the encoder
+// and invalidated by further Put calls.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len reports the number of encoded bytes.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset truncates the encoder for reuse without releasing its buffer.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// PutUint32 appends a big-endian 32-bit unsigned integer.
+func (e *Encoder) PutUint32(v uint32) {
+	e.buf = append(e.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// PutInt32 appends a big-endian 32-bit signed integer.
+func (e *Encoder) PutInt32(v int32) { e.PutUint32(uint32(v)) }
+
+// PutUint64 appends a big-endian 64-bit unsigned integer (XDR hyper).
+func (e *Encoder) PutUint64(v uint64) {
+	e.PutUint32(uint32(v >> 32))
+	e.PutUint32(uint32(v))
+}
+
+// PutBool appends an XDR boolean (uint32 0 or 1).
+func (e *Encoder) PutBool(b bool) {
+	if b {
+		e.PutUint32(1)
+	} else {
+		e.PutUint32(0)
+	}
+}
+
+// PutFixedOpaque appends fixed-length opaque data padded to 4 bytes.
+func (e *Encoder) PutFixedOpaque(b []byte) {
+	e.buf = append(e.buf, b...)
+	for i := 0; i < pad(len(b)); i++ {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// PutOpaque appends variable-length opaque data: a length word followed
+// by the bytes padded to 4 bytes.
+func (e *Encoder) PutOpaque(b []byte) {
+	e.PutUint32(uint32(len(b)))
+	e.PutFixedOpaque(b)
+}
+
+// PutString appends an XDR string (same wire form as variable opaque).
+func (e *Encoder) PutString(s string) {
+	e.PutUint32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+	for i := 0; i < pad(len(s)); i++ {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// Decoder consumes XDR data from a byte slice. Methods return
+// ErrShortBuffer once the input is exhausted.
+type Decoder struct {
+	buf []byte
+	off int
+}
+
+// NewDecoder returns a decoder reading from b. The decoder aliases b;
+// opaque and string results share its backing array.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Remaining reports the number of unconsumed bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Offset reports the number of consumed bytes.
+func (d *Decoder) Offset() int { return d.off }
+
+// Uint32 decodes a big-endian 32-bit unsigned integer.
+func (d *Decoder) Uint32() (uint32, error) {
+	if d.Remaining() < 4 {
+		return 0, ErrShortBuffer
+	}
+	b := d.buf[d.off:]
+	v := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	d.off += 4
+	return v, nil
+}
+
+// Int32 decodes a big-endian 32-bit signed integer.
+func (d *Decoder) Int32() (int32, error) {
+	v, err := d.Uint32()
+	return int32(v), err
+}
+
+// Uint64 decodes a big-endian 64-bit unsigned integer.
+func (d *Decoder) Uint64() (uint64, error) {
+	hi, err := d.Uint32()
+	if err != nil {
+		return 0, err
+	}
+	lo, err := d.Uint32()
+	if err != nil {
+		return 0, err
+	}
+	return uint64(hi)<<32 | uint64(lo), nil
+}
+
+// Bool decodes an XDR boolean. Any nonzero value is true, matching the
+// liberal decoding used by real NFS implementations.
+func (d *Decoder) Bool() (bool, error) {
+	v, err := d.Uint32()
+	return v != 0, err
+}
+
+// FixedOpaque decodes n bytes of fixed-length opaque data plus padding.
+// The returned slice aliases the decoder's buffer.
+func (d *Decoder) FixedOpaque(n int) ([]byte, error) {
+	if n < 0 || n > MaxItemLen {
+		return nil, ErrTooLong
+	}
+	total := n + pad(n)
+	if d.Remaining() < total {
+		return nil, ErrShortBuffer
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += total
+	return b, nil
+}
+
+// Opaque decodes variable-length opaque data. The returned slice aliases
+// the decoder's buffer.
+func (d *Decoder) Opaque() ([]byte, error) {
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxItemLen {
+		return nil, ErrTooLong
+	}
+	return d.FixedOpaque(int(n))
+}
+
+// String decodes an XDR string as a Go string (copying the bytes).
+func (d *Decoder) String() (string, error) {
+	b, err := d.Opaque()
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// Skip advances past n bytes plus XDR padding.
+func (d *Decoder) Skip(n int) error {
+	total := n + pad(n)
+	if d.Remaining() < total {
+		return ErrShortBuffer
+	}
+	d.off += total
+	return nil
+}
+
+// Count decodes an array count, validating it against MaxItemLen.
+func (d *Decoder) Count() (int, error) {
+	n, err := d.Uint32()
+	if err != nil {
+		return 0, err
+	}
+	if n > MaxItemLen {
+		return 0, fmt.Errorf("%w: count %d", ErrTooLong, n)
+	}
+	return int(n), nil
+}

@@ -1,0 +1,217 @@
+package xdr
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestUint32RoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		e := NewEncoder(8)
+		e.PutUint32(v)
+		d := NewDecoder(e.Bytes())
+		got, err := d.Uint32()
+		return err == nil && got == v && d.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		e := NewEncoder(8)
+		e.PutUint64(v)
+		d := NewDecoder(e.Bytes())
+		got, err := d.Uint64()
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInt32RoundTrip(t *testing.T) {
+	for _, v := range []int32{0, -1, 1, -2147483648, 2147483647} {
+		e := NewEncoder(4)
+		e.PutInt32(v)
+		got, err := NewDecoder(e.Bytes()).Int32()
+		if err != nil || got != v {
+			t.Errorf("round trip %d → %d, err=%v", v, got, err)
+		}
+	}
+}
+
+func TestBigEndianLayout(t *testing.T) {
+	e := NewEncoder(4)
+	e.PutUint32(0x01020304)
+	if !bytes.Equal(e.Bytes(), []byte{1, 2, 3, 4}) {
+		t.Fatalf("layout = %x, want 01020304", e.Bytes())
+	}
+}
+
+func TestOpaquePadding(t *testing.T) {
+	for n := 0; n <= 9; n++ {
+		data := bytes.Repeat([]byte{0xAB}, n)
+		e := NewEncoder(16)
+		e.PutOpaque(data)
+		if e.Len()%4 != 0 {
+			t.Errorf("len(%d): encoded length %d not a multiple of 4", n, e.Len())
+		}
+		want := 4 + n + (4-n%4)%4
+		if e.Len() != want {
+			t.Errorf("len(%d): encoded %d bytes, want %d", n, e.Len(), want)
+		}
+		d := NewDecoder(e.Bytes())
+		got, err := d.Opaque()
+		if err != nil {
+			t.Fatalf("len(%d): decode: %v", n, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("len(%d): got %x want %x", n, got, data)
+		}
+		if d.Remaining() != 0 {
+			t.Errorf("len(%d): %d bytes left over", n, d.Remaining())
+		}
+	}
+}
+
+func TestOpaqueRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		e := NewEncoder(len(data) + 8)
+		e.PutOpaque(data)
+		got, err := NewDecoder(e.Bytes()).Opaque()
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		e := NewEncoder(len(s) + 8)
+		e.PutString(s)
+		got, err := NewDecoder(e.Bytes()).String()
+		return err == nil && got == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBool(t *testing.T) {
+	e := NewEncoder(8)
+	e.PutBool(true)
+	e.PutBool(false)
+	d := NewDecoder(e.Bytes())
+	b1, err1 := d.Bool()
+	b2, err2 := d.Bool()
+	if err1 != nil || err2 != nil || !b1 || b2 {
+		t.Fatalf("bool round trip: %v %v %v %v", b1, err1, b2, err2)
+	}
+}
+
+func TestShortBuffer(t *testing.T) {
+	d := NewDecoder([]byte{0, 0})
+	if _, err := d.Uint32(); err != ErrShortBuffer {
+		t.Errorf("Uint32 on short buffer: %v", err)
+	}
+	d = NewDecoder([]byte{0, 0, 0, 8, 1, 2}) // claims 8 bytes, has 2
+	if _, err := d.Opaque(); err != ErrShortBuffer {
+		t.Errorf("Opaque on short buffer: %v", err)
+	}
+	d = NewDecoder([]byte{0, 0, 0, 1})
+	if _, err := d.Uint64(); err != ErrShortBuffer {
+		t.Errorf("Uint64 on short buffer: %v", err)
+	}
+}
+
+func TestHostileLength(t *testing.T) {
+	// A length field of 0xFFFFFFFF must not cause a huge allocation.
+	d := NewDecoder([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0})
+	if _, err := d.Opaque(); err != ErrTooLong {
+		t.Errorf("hostile length: err = %v, want ErrTooLong", err)
+	}
+	d = NewDecoder([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := d.Count(); err == nil {
+		t.Error("hostile count accepted")
+	}
+}
+
+func TestSkip(t *testing.T) {
+	e := NewEncoder(16)
+	e.PutOpaque([]byte("abcde")) // 4 + 5 + 3 pad
+	e.PutUint32(7)
+	d := NewDecoder(e.Bytes())
+	n, err := d.Count()
+	if err != nil || n != 5 {
+		t.Fatalf("count: %d %v", n, err)
+	}
+	if err := d.Skip(n); err != nil {
+		t.Fatalf("skip: %v", err)
+	}
+	v, err := d.Uint32()
+	if err != nil || v != 7 {
+		t.Fatalf("after skip: %d %v", v, err)
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	e := NewEncoder(8)
+	e.PutUint32(1)
+	e.Reset()
+	if e.Len() != 0 {
+		t.Fatalf("len after reset = %d", e.Len())
+	}
+	e.PutUint32(2)
+	v, _ := NewDecoder(e.Bytes()).Uint32()
+	if v != 2 {
+		t.Fatalf("after reset round trip = %d", v)
+	}
+}
+
+func TestFixedOpaque(t *testing.T) {
+	e := NewEncoder(16)
+	e.PutFixedOpaque([]byte{1, 2, 3})
+	if e.Len() != 4 {
+		t.Fatalf("fixed opaque len = %d, want 4 (3+1 pad)", e.Len())
+	}
+	d := NewDecoder(e.Bytes())
+	b, err := d.FixedOpaque(3)
+	if err != nil || !bytes.Equal(b, []byte{1, 2, 3}) || d.Remaining() != 0 {
+		t.Fatalf("fixed opaque round trip: %x %v rem=%d", b, err, d.Remaining())
+	}
+	if _, err := NewDecoder(nil).FixedOpaque(-1); err != ErrTooLong {
+		t.Errorf("negative length: %v", err)
+	}
+}
+
+func TestMixedSequence(t *testing.T) {
+	e := NewEncoder(64)
+	e.PutUint32(0xdeadbeef)
+	e.PutString("hello")
+	e.PutUint64(1 << 40)
+	e.PutBool(true)
+	e.PutOpaque([]byte{9, 9})
+	d := NewDecoder(e.Bytes())
+	if v, _ := d.Uint32(); v != 0xdeadbeef {
+		t.Fatal("u32")
+	}
+	if s, _ := d.String(); s != "hello" {
+		t.Fatal("string")
+	}
+	if v, _ := d.Uint64(); v != 1<<40 {
+		t.Fatal("u64")
+	}
+	if b, _ := d.Bool(); !b {
+		t.Fatal("bool")
+	}
+	if o, _ := d.Opaque(); !bytes.Equal(o, []byte{9, 9}) {
+		t.Fatal("opaque")
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("remaining = %d", d.Remaining())
+	}
+}

@@ -1,0 +1,163 @@
+// Package repro is the public face of the reproduction of "Passive NFS
+// Tracing of Email and Research Workloads" (Ellard, Ledlie, Malkani,
+// Seltzer; FAST 2003).
+//
+// It wires together the internal substrates — wire-format codecs, the
+// sniffer, the anonymizer, the client/server simulators, and the CAMPUS
+// and EECS workload generators — into three things a user needs:
+//
+//   - Trace generation: GenerateCampus and GenerateEECS produce joined
+//     operation streams (and optionally raw records or pcap files) for
+//     the two systems the paper studied, at a configurable scale.
+//   - Trace processing: Sniff decodes packets into records, Anonymize
+//     rewrites records, and the core text format reads/writes traces.
+//   - Experiments: Table1–Table5 and Figure1–Figure5 regenerate every
+//     table and figure of the paper's evaluation, plus the §4.1.4,
+//     §4.1.5, §6.3, and §6.4 side experiments.
+package repro
+
+import (
+	"io"
+
+	"repro/internal/anon"
+	"repro/internal/capture"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/netem"
+	"repro/internal/pcap"
+	"repro/internal/workload"
+)
+
+// Trace is a generated or captured operation stream with its metadata.
+type Trace struct {
+	// Name identifies the system ("CAMPUS" or "EECS").
+	Name string
+	// Ops is the joined call/reply stream in time order.
+	Ops []*core.Op
+	// Days is the window length.
+	Days float64
+	// Join reports call/reply matching statistics (loss estimation).
+	Join core.JoinStats
+	// ReorderWindowMS is the §4.2 sorting window appropriate for this
+	// system (5 for EECS, 10 for CAMPUS).
+	ReorderWindowMS float64
+}
+
+// Scale selects the simulated population size. The real systems were
+// far larger (CAMPUS: ~700 accounts on the traced array; EECS: a
+// department of workstations); ratios and shapes are scale-invariant.
+type Scale struct {
+	// CampusUsers is the simulated CAMPUS account count.
+	CampusUsers int
+	// EECSClients is the simulated workstation count.
+	EECSClients int
+	// Days is the trace window (7 = the paper's Sunday–Saturday week).
+	Days float64
+	// Seed makes everything reproducible.
+	Seed int64
+}
+
+// DefaultScale is a laptop-friendly full week (~1.5M operations).
+func DefaultScale() Scale {
+	return Scale{CampusUsers: 12, EECSClients: 4, Days: 7, Seed: 20011021}
+}
+
+// SmallScale is a quick single-day configuration for tests and benches.
+func SmallScale() Scale {
+	return Scale{CampusUsers: 3, EECSClients: 2, Days: 1, Seed: 20011021}
+}
+
+// GenerateCampus produces the CAMPUS email workload trace.
+func GenerateCampus(s Scale) *Trace {
+	sink := &client.SliceSink{}
+	sorter := client.NewSortingSink(sink)
+	gen := workload.NewCampus(workload.DefaultCampusConfig(s.CampusUsers, s.Days, s.Seed), sorter)
+	gen.Run()
+	sorter.Flush()
+	ops, join := core.Join(sink.Records)
+	return &Trace{Name: "CAMPUS", Ops: ops, Days: s.Days, Join: join, ReorderWindowMS: 10}
+}
+
+// GenerateEECS produces the EECS research workload trace.
+func GenerateEECS(s Scale) *Trace {
+	sink := &client.SliceSink{}
+	sorter := client.NewSortingSink(sink)
+	gen := workload.NewEECS(workload.DefaultEECSConfig(s.EECSClients, s.Days, s.Seed), sorter)
+	gen.Run()
+	sorter.Flush()
+	ops, join := core.Join(sink.Records)
+	return &Trace{Name: "EECS", Ops: ops, Days: s.Days, Join: join, ReorderWindowMS: 5}
+}
+
+// GenerateCampusLossy produces a CAMPUS trace observed through an
+// overloaded mirror port (§4.1.4): some records never reach the tracer,
+// so calls lose replies and replies lose calls.
+func GenerateCampusLossy(s Scale, portRate float64) (*Trace, *netem.MirrorPort) {
+	sink := &client.SliceSink{}
+	port := netem.NewMirrorPort()
+	if portRate > 0 {
+		port.Rate = portRate
+	}
+	lossy := &client.LossySink{Next: client.NewSortingSink(sink), Port: port}
+	gen := workload.NewCampus(workload.DefaultCampusConfig(s.CampusUsers, s.Days, s.Seed), lossy)
+	gen.Run()
+	lossy.Next.(*client.SortingSink).Flush()
+	ops, join := core.Join(sink.Records)
+	return &Trace{Name: "CAMPUS(lossy)", Ops: ops, Days: s.Days, Join: join, ReorderWindowMS: 10}, port
+}
+
+// GenerateCampusRecords returns raw (unjoined) records, for the
+// anonymizer and trace-file tools.
+func GenerateCampusRecords(s Scale) []*core.Record {
+	sink := &client.SliceSink{}
+	sorter := client.NewSortingSink(sink)
+	gen := workload.NewCampus(workload.DefaultCampusConfig(s.CampusUsers, s.Days, s.Seed), sorter)
+	gen.Run()
+	sorter.Flush()
+	return sink.Records
+}
+
+// WriteTrace writes records in the text trace format.
+func WriteTrace(w io.Writer, records []*core.Record) error {
+	return core.WriteAll(w, records)
+}
+
+// ReadTrace reads a text trace and joins it into operations.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	records, err := core.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	ops, join := core.Join(records)
+	days := 0.0
+	if len(ops) > 0 {
+		days = (ops[len(ops)-1].T - ops[0].T) / workload.Day
+	}
+	return &Trace{Name: "trace", Ops: ops, Days: days, Join: join, ReorderWindowMS: 10}, nil
+}
+
+// Sniff decodes a pcap stream into trace records, optionally
+// anonymizing with the given anonymizer (nil = raw).
+func Sniff(r io.Reader, anonymizer *anon.Anonymizer) ([]*core.Record, capture.Stats, error) {
+	pr, err := pcap.NewReader(r)
+	if err != nil {
+		return nil, capture.Stats{}, err
+	}
+	var records []*core.Record
+	sn := capture.NewSniffer(func(rec *core.Record) { records = append(records, rec) })
+	sn.Anon = anonymizer
+	if err := sn.ReadPcap(pr); err != nil {
+		return records, sn.Stats, err
+	}
+	return records, sn.Stats, nil
+}
+
+// Anonymize rewrites records in place with a default-configured
+// anonymizer and returns it (so its tables can be saved).
+func Anonymize(records []*core.Record, seed int64) *anon.Anonymizer {
+	a := anon.New(anon.DefaultConfig(seed))
+	for _, r := range records {
+		a.Record(r)
+	}
+	return a
+}
