@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: help build test race bench vet fmt-check check
+
+help: ## list targets
+	@grep -E '^[a-z-]+:.*##' $(MAKEFILE_LIST) | awk -F':.*## ' '{printf "  %-10s %s\n", $$1, $$2}'
+
+build: ## compile every package and tool
+	$(GO) build ./...
+
+test: ## run the full test suite
+	$(GO) test ./...
+
+race: ## run the full test suite under the race detector
+	$(GO) test -race ./...
+
+bench: ## run the pipeline scaling and analysis benchmarks
+	$(GO) test -run xxx -bench 'BenchmarkPipelineWorkers' -benchmem .
+	$(GO) test -run xxx -bench . -benchmem ./internal/pipeline
+
+vet: ## go vet every package
+	$(GO) vet ./...
+
+fmt-check: ## fail if any file needs gofmt
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+check: vet build race fmt-check ## everything CI runs

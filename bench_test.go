@@ -11,7 +11,9 @@ package repro
 // BenchmarkGenerateCampus / BenchmarkGenerateEECS).
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -19,6 +21,7 @@ import (
 	"repro/internal/anon"
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/pipeline"
 	"repro/internal/server"
 	"repro/internal/workload"
 )
@@ -235,7 +238,45 @@ func fnvName(s string) uint64 {
 	return h
 }
 
-// --- Pipeline micro-benchmarks ---
+// --- Pipeline benchmarks ---
+
+// BenchmarkPipelineWorkers measures the full analysis reducer suite
+// (summary, hourly, raw+processed runs, block lifetimes) over the
+// CAMPUS generator workload at 1, 4, and NumCPU workers — the
+// before/after comparison for the sharded engine. The reported metric
+// is analysis throughput in operations per second; output is
+// byte-identical at every worker count (see
+// TestTablesByteIdenticalAcrossWorkers).
+func BenchmarkPipelineWorkers(b *testing.B) {
+	campus, _ := benchTraces(b)
+	span := campus.Days * workload.Day
+	newSet := func() []pipeline.Analyzer {
+		return []pipeline.Analyzer{
+			&pipeline.SummaryAnalyzer{Days: campus.Days},
+			&pipeline.HourlyAnalyzer{Span: span},
+			&pipeline.RunsAnalyzer{Config: analysis.RunConfig{
+				ReorderWindow: campus.ReorderWindowMS / 1000, IdleGap: 30, JumpBlocks: 1}},
+			&pipeline.RunsAnalyzer{Config: analysis.DefaultRunConfig(campus.ReorderWindowMS)},
+			&pipeline.BlockLifeAnalyzer{Start: workload.Day + 9*workload.Hour,
+				Phase: workload.Day, Margin: workload.Day},
+		}
+	}
+	counts := []int{1, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			cfg := pipeline.Config{Workers: workers}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pipeline.RunSlice(cfg, campus.Ops, newSet()...)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(campus.Ops))*float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+		})
+	}
+}
 
 // BenchmarkJoin measures call/reply matching throughput.
 func BenchmarkJoin(b *testing.B) {

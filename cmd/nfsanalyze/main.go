@@ -1,6 +1,16 @@
 // nfsanalyze runs one of the paper's analyses over a trace file (text
 // or binary format, auto-detected).
 //
+// Records stream through the sharded pipeline: calls and replies are
+// joined incrementally and the analysis reducers run across -workers
+// shards. Memory depends on the reducer, not the record count: summary
+// and hierarchy hold constant-size state, blocklife holds live-block
+// state, while runs and reorder accumulate one entry per data access
+// (run detection needs each file's full access list). The hourly and
+// names analyses need the whole trace (the hour-bucket span and the
+// file-instance window are only known at the end), so they materialize
+// first.
+//
 // Usage:
 //
 //	nfsanalyze -i campus.trace -analysis summary
@@ -10,6 +20,7 @@
 //	nfsanalyze -i campus.trace -analysis names
 //	nfsanalyze -i campus.trace -analysis hierarchy
 //	nfsanalyze -i campus.trace -analysis reorder
+//	nfsanalyze -i campus.trace -analysis summary -workers 8
 package main
 
 import (
@@ -20,6 +31,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/pipeline"
 	"repro/internal/workload"
 )
 
@@ -32,6 +44,7 @@ func main() {
 	start := flag.Float64("start", 0, "blocklife phase-1 start (seconds)")
 	phase := flag.Float64("phase", workload.Day, "blocklife phase-1 length (seconds)")
 	margin := flag.Float64("margin", workload.Day, "blocklife end margin (seconds)")
+	workers := flag.Int("workers", 0, "pipeline shard count (0 = one per CPU)")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -47,36 +60,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var records []*core.Record
-	for {
-		rec, err := src.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			fatal(err)
-		}
-		records = append(records, rec)
-	}
-	ops, join := core.Join(records)
-	if len(ops) == 0 {
-		fatal(fmt.Errorf("no operations in trace"))
-	}
-	span := ops[len(ops)-1].T - ops[0].T
-	days := span / workload.Day
-	if days <= 0 {
-		days = 1.0 / 24
-	}
+	cfg := pipeline.Config{Workers: *workers}
 
 	switch *kind {
 	case "summary":
-		s := analysis.Summarize(ops, days)
-		fmt.Println(s)
+		sum := &pipeline.SummaryAnalyzer{}
+		join, stats := stream(cfg, src, sum)
+		days := stats.Span() / workload.Day
+		if days <= 0 {
+			days = 1.0 / 24
+		}
+		sum.Result.Days = days
+		fmt.Println(sum.Result)
 		fmt.Printf("join: %d calls, %d replies, %d unmatched calls, %d orphan replies (loss est %.2f%%)\n",
 			join.Calls, join.Replies, join.UnmatchedCalls, join.OrphanReplies, 100*join.LossEstimate())
 	case "runs":
-		cfg := analysis.RunConfig{ReorderWindow: *window / 1000, IdleGap: 30, JumpBlocks: *jump}
-		tab := analysis.Tabulate(analysis.DetectRuns(ops, cfg))
+		ra := &pipeline.RunsAnalyzer{Config: analysis.RunConfig{
+			ReorderWindow: *window / 1000, IdleGap: 30, JumpBlocks: *jump}}
+		stream(cfg, src, ra)
+		tab := ra.Table()
 		fmt.Printf("runs=%d window=%.0fms k=%d\n", tab.TotalRuns, *window, *jump)
 		fmt.Printf("reads  %5.1f%% of runs: entire %5.1f%% seq %5.1f%% random %5.1f%%\n",
 			tab.ReadPct, tab.Read[0], tab.Read[1], tab.Read[2])
@@ -85,7 +87,9 @@ func main() {
 		fmt.Printf("r-w    %5.1f%% of runs: entire %5.1f%% seq %5.1f%% random %5.1f%%\n",
 			tab.ReadWritePct, tab.ReadWrite[0], tab.ReadWrite[1], tab.ReadWrite[2])
 	case "blocklife":
-		res := analysis.BlockLife(ops, *start, *phase, *margin)
+		bl := &pipeline.BlockLifeAnalyzer{Start: *start, Phase: *phase, Margin: *margin}
+		stream(cfg, src, bl)
+		res := bl.Result
 		fmt.Printf("births=%d (writes %.1f%%, extension %.1f%%)\n",
 			res.Births, res.BirthPct(analysis.BirthWrite), res.BirthPct(analysis.BirthExtension))
 		fmt.Printf("deaths=%d (overwrite %.1f%%, truncate %.1f%%, delete %.1f%%)\n",
@@ -93,7 +97,18 @@ func main() {
 			res.DeathPct(analysis.DeathTruncate), res.DeathPct(analysis.DeathDelete))
 		fmt.Printf("end surplus %.1f%%; lifetime p50=%.1fs p90=%.1fs\n",
 			res.EndSurplusPct(), res.Lifetimes.Percentile(50), res.Lifetimes.Percentile(90))
+	case "hierarchy":
+		hier := &pipeline.HierarchyAnalyzer{Warmup: 600}
+		stream(cfg, src, hier)
+		fmt.Printf("hierarchy coverage after 10min warmup: %.2f%%\n", 100*hier.Coverage)
+	case "reorder":
+		sweep := &pipeline.ReorderSweepAnalyzer{WindowsMS: []float64{0, 1, 2, 5, 10, 20, 50}}
+		stream(cfg, src, sweep)
+		for _, p := range sweep.Result {
+			fmt.Printf("window %5.0fms: %.2f%% swapped\n", p.WindowMS, p.SwappedPct)
+		}
 	case "hourly":
+		ops, span := materialize(src)
 		h := analysis.Hourly(ops, span)
 		for _, peak := range []bool{false, true} {
 			label := "all hours"
@@ -106,6 +121,7 @@ func main() {
 			}
 		}
 	case "names":
+		ops, _ := materialize(src)
 		rep := analysis.AnalyzeNames(ops, ops[len(ops)-1].T)
 		for _, cs := range rep.PerCategory {
 			if cs.Created == 0 {
@@ -117,17 +133,45 @@ func main() {
 		}
 		fmt.Printf("locks %.1f%% of created-and-deleted; size prediction %.0f%%, lifetime prediction %.0f%%\n",
 			100*rep.LockFracOfDeleted, 100*rep.SizeAccuracy, 100*rep.LifeAccuracy)
-	case "hierarchy":
-		cov := analysis.CoverageAfterWarmup(ops, 600)
-		fmt.Printf("hierarchy coverage after 10min warmup: %.2f%%\n", 100*cov)
-	case "reorder":
-		pts := analysis.ReorderSweep(ops, []float64{0, 1, 2, 5, 10, 20, 50})
-		for _, p := range pts {
-			fmt.Printf("window %5.0fms: %.2f%% swapped\n", p.WindowMS, p.SwappedPct)
-		}
 	default:
 		fatal(fmt.Errorf("unknown analysis %q", *kind))
 	}
+}
+
+// stream joins the record source incrementally and runs the analyzers
+// across the pipeline's shards, exiting on error or an empty trace. It
+// returns the join and stream statistics for span-dependent fix-ups.
+func stream(cfg pipeline.Config, src core.RecordSource, analyzers ...pipeline.Analyzer) (core.JoinStats, pipeline.Stats) {
+	j := pipeline.NewJoiner(src)
+	stats, err := pipeline.Run(cfg, j, analyzers...)
+	if err != nil {
+		fatal(err)
+	}
+	if stats.Ops == 0 {
+		fatal(fmt.Errorf("no operations in trace"))
+	}
+	return j.Stats(), stats
+}
+
+// materialize drains the source into a joined op slice for the
+// analyses that need the whole trace up front.
+func materialize(src core.RecordSource) ([]*core.Op, float64) {
+	var records []*core.Record
+	for {
+		rec, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		records = append(records, rec)
+	}
+	ops, _ := core.Join(records)
+	if len(ops) == 0 {
+		fatal(fmt.Errorf("no operations in trace"))
+	}
+	return ops, ops[len(ops)-1].T - ops[0].T
 }
 
 func fatal(err error) {

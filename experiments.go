@@ -9,6 +9,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/pipeline"
 	"repro/internal/server"
 	"repro/internal/workload"
 )
@@ -20,23 +21,36 @@ import (
 // magnitudes differ by the simulation scale (documented in
 // EXPERIMENTS.md); ratios, mixes, distributions, and orderings are the
 // reproduction targets.
+//
+// Every analysis runs through the internal/pipeline engine: one
+// streaming pass per trace per experiment, sharded across
+// Trace.Pipeline workers, with merges that make the rendered output
+// byte-identical at any worker count.
 
 // Table1 contrasts the two workloads qualitatively, computing each
 // claim from the traces.
 func Table1(campus, eecs *Trace) string {
-	cs := analysis.Summarize(campus.Ops, campus.Days)
-	es := analysis.Summarize(eecs.Ops, eecs.Days)
+	// One sharded pass over each trace computes every Table 1 claim:
+	// the activity summary, the peak-hour instance mix (Monday
+	// 10:00–11:00), the mailbox byte share, and the block lifetimes
+	// (Monday 9am, 24h+24h, where the window allows).
+	cSum := &pipeline.SummaryAnalyzer{Days: campus.Days}
+	peak := &pipeline.PeakHourAnalyzer{
+		From: workload.Day + 10*workload.Hour,
+		To:   workload.Day + 11*workload.Hour,
+	}
+	mail := &pipeline.MailboxAnalyzer{}
+	cLife := blockLifeAnalyzer(campus)
+	campus.analyze(cSum, peak, mail, cLife)
 
-	// Unique file instances in a peak hour, locks and mailboxes.
-	lockFrac, inboxFrac := peakHourInstanceFractions(campus.Ops)
+	eSum := &pipeline.SummaryAnalyzer{Days: eecs.Days}
+	eLife := blockLifeAnalyzer(eecs)
+	eecs.analyze(eSum, eLife)
 
-	// Mailbox share of data bytes.
-	mailboxBytes, totalBytes := mailboxByteShare(campus.Ops)
-
-	// Median block lifetimes (Monday 9am, 24h+24h) where the window
-	// allows; otherwise first day.
-	cb := weekdayBlockLife(campus)
-	eb := weekdayBlockLife(eecs)
+	cs, es := cSum.Result, eSum.Result
+	lockFrac, inboxFrac := peak.Result.LockFrac(), peak.Result.MailboxFrac()
+	mailboxBytes, totalBytes := mail.MailboxBytes, mail.TotalBytes
+	cb, eb := cLife.Result, eLife.Result
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 1: Characteristics of CAMPUS and EECS\n")
@@ -82,105 +96,27 @@ func fmtDuration(sec float64) string {
 	}
 }
 
-func peakHourInstanceFractions(ops []*core.Op) (lockFrac, inboxFrac float64) {
-	// First pass: learn each handle's name from lookups and creates
-	// over the whole trace (the §4.1.1 reconstruction), since data ops
-	// carry only the handle.
-	cat := map[string]analysis.NameCategory{}
-	for _, op := range ops {
-		if op.NewFH != "" && op.Name != "" {
-			cat[op.NewFH] = analysis.Categorize(op.Name)
-		}
-	}
-	// Second pass: distinct file instances referenced in a peak hour.
-	from := workload.Day + 10*workload.Hour // Monday 10:00
-	to := from + workload.Hour
-	instances := map[string]bool{}
-	var locks, inboxes int
-	note := func(fh string) {
-		if fh == "" || instances[fh] {
-			return
-		}
-		instances[fh] = true
-		switch cat[fh] {
-		case analysis.CatLock:
-			locks++
-		case analysis.CatMailbox:
-			inboxes++
-		}
-	}
-	for _, op := range ops {
-		if op.T < from || op.T >= to {
-			continue
-		}
-		switch op.Proc {
-		case "read", "write", "getattr", "setattr", "access", "commit":
-			note(op.FH)
-		case "create", "lookup":
-			note(op.NewFH)
-		}
-	}
-	if len(instances) == 0 {
-		return 0, 0
-	}
-	n := float64(len(instances))
-	return float64(locks) / n, float64(inboxes) / n
-}
-
-func mailboxByteShare(ops []*core.Op) (mailbox, total uint64) {
-	// Identify mailbox handles by the names that referenced them.
-	mailboxFH := map[string]bool{}
-	for _, op := range ops {
-		if op.NewFH != "" && analysis.Categorize(op.Name) == analysis.CatMailbox {
-			mailboxFH[op.NewFH] = true
-		}
-	}
-	// Any data op on a large file whose handle we never saw named
-	// still counts toward total.
-	for _, op := range ops {
-		if !op.IsRead() && !op.IsWrite() {
-			continue
-		}
-		n := op.Bytes()
-		total += n
-		if mailboxFH[op.FH] {
-			mailbox += n
-		}
-	}
-	// Handles populated before the trace (setup inboxes) are found by
-	// size: treat multi-megabyte files as mailboxes on CAMPUS. The
-	// paper identifies them by name via the same hierarchy trick.
-	if total > 0 && float64(mailbox)/float64(total) < 0.5 {
-		mailbox = 0
-		big := map[string]bool{}
-		for _, op := range ops {
-			if op.Size > 1<<20 {
-				big[op.FH] = true
-			}
-		}
-		for _, op := range ops {
-			if (op.IsRead() || op.IsWrite()) && (big[op.FH] || mailboxFH[op.FH]) {
-				mailbox += op.Bytes()
-			}
-		}
-	}
-	return mailbox, total
-}
-
-func weekdayBlockLife(tr *Trace) *analysis.BlockLifeResult {
+// blockLifeAnalyzer builds the block-lifetime reducer over the trace's
+// weekday window: Monday 9am with a 24h phase and 24h margin when the
+// trace is long enough, otherwise the first half of the window.
+func blockLifeAnalyzer(tr *Trace) *pipeline.BlockLifeAnalyzer {
 	if tr.Days >= 3 {
-		// Monday 9am, 24h phase + 24h margin.
-		return analysis.BlockLife(tr.Ops, workload.Day+9*workload.Hour,
-			workload.Day, workload.Day)
+		return &pipeline.BlockLifeAnalyzer{
+			Start: workload.Day + 9*workload.Hour,
+			Phase: workload.Day, Margin: workload.Day,
+		}
 	}
 	span := tr.Days * workload.Day
-	return analysis.BlockLife(tr.Ops, 0, span/2, span/2)
+	return &pipeline.BlockLifeAnalyzer{Start: 0, Phase: span / 2, Margin: span / 2}
 }
 
 // Table2 reports average daily activity for both systems.
 func Table2(campus, eecs *Trace) string {
-	cs := analysis.Summarize(campus.Ops, campus.Days)
-	es := analysis.Summarize(eecs.Ops, eecs.Days)
+	cSum := &pipeline.SummaryAnalyzer{Days: campus.Days}
+	campus.analyze(cSum)
+	eSum := &pipeline.SummaryAnalyzer{Days: eecs.Days}
+	eecs.analyze(eSum)
+	cs, es := cSum.Result, eSum.Result
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 2: Average daily activity (simulated scale)\n")
 	fmt.Fprintf(&b, "%-26s %14s %14s\n", "", "CAMPUS", "EECS")
@@ -209,14 +145,17 @@ func Table3(campus, eecs *Trace) string {
 	fmt.Fprintf(&b, "%-22s %9s %9s %9s %9s %9s %9s\n", "", "raw", "processed", "paper",
 		"raw", "processed", "paper")
 
-	rawC := analysis.Tabulate(analysis.DetectRuns(campus.Ops,
-		analysis.RunConfig{ReorderWindow: campus.ReorderWindowMS / 1000, IdleGap: 30, JumpBlocks: 1}))
-	procC := analysis.Tabulate(analysis.DetectRuns(campus.Ops,
-		analysis.DefaultRunConfig(campus.ReorderWindowMS)))
-	rawE := analysis.Tabulate(analysis.DetectRuns(eecs.Ops,
-		analysis.RunConfig{ReorderWindow: eecs.ReorderWindowMS / 1000, IdleGap: 30, JumpBlocks: 1}))
-	procE := analysis.Tabulate(analysis.DetectRuns(eecs.Ops,
-		analysis.DefaultRunConfig(eecs.ReorderWindowMS)))
+	// Raw and processed detection share one pass per trace.
+	rawCA := &pipeline.RunsAnalyzer{Config: analysis.RunConfig{
+		ReorderWindow: campus.ReorderWindowMS / 1000, IdleGap: 30, JumpBlocks: 1}}
+	procCA := &pipeline.RunsAnalyzer{Config: analysis.DefaultRunConfig(campus.ReorderWindowMS)}
+	campus.analyze(rawCA, procCA)
+	rawEA := &pipeline.RunsAnalyzer{Config: analysis.RunConfig{
+		ReorderWindow: eecs.ReorderWindowMS / 1000, IdleGap: 30, JumpBlocks: 1}}
+	procEA := &pipeline.RunsAnalyzer{Config: analysis.DefaultRunConfig(eecs.ReorderWindowMS)}
+	eecs.analyze(rawEA, procEA)
+	rawC, procC := rawCA.Table(), procCA.Table()
+	rawE, procE := rawEA.Table(), procEA.Table()
 
 	type rowSpec struct {
 		name   string
@@ -247,8 +186,11 @@ func Table3(campus, eecs *Trace) string {
 
 // Table4 reports daily block births and deaths by cause.
 func Table4(campus, eecs *Trace) string {
-	cb := weekdayBlockLife(campus)
-	eb := weekdayBlockLife(eecs)
+	cLife := blockLifeAnalyzer(campus)
+	campus.analyze(cLife)
+	eLife := blockLifeAnalyzer(eecs)
+	eecs.analyze(eLife)
+	cb, eb := cLife.Result, eLife.Result
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 4: Daily block life statistics (24h phase + 24h margin)\n")
 	fmt.Fprintf(&b, "%-26s %12s %12s %26s\n", "", "CAMPUS", "EECS", "paper (C / E)")
@@ -268,8 +210,11 @@ func Table4(campus, eecs *Trace) string {
 
 // Table5 reports hourly means and relative stddevs, all hours vs peak.
 func Table5(campus, eecs *Trace) string {
-	ch := analysis.Hourly(campus.Ops, campus.Days*workload.Day)
-	eh := analysis.Hourly(eecs.Ops, eecs.Days*workload.Day)
+	cHourly := &pipeline.HourlyAnalyzer{Span: campus.Days * workload.Day}
+	campus.analyze(cHourly)
+	eHourly := &pipeline.HourlyAnalyzer{Span: eecs.Days * workload.Day}
+	eecs.analyze(eHourly)
+	ch, eh := cHourly.Result, eHourly.Result
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 5: Average hourly activity; stddev as %% of mean in parens\n")
 	for _, peak := range []bool{false, true} {
@@ -307,8 +252,11 @@ func Figure1(campus, eecs *Trace) string {
 		eOps = eecs.Ops
 	}
 	windows := []float64{0, 1, 2, 3, 5, 8, 10, 15, 20, 30, 40, 50}
-	cPts := analysis.ReorderSweep(cOps, windows)
-	ePts := analysis.ReorderSweep(eOps, windows)
+	cSweep := &pipeline.ReorderSweepAnalyzer{WindowsMS: windows}
+	pipeline.RunSlice(campus.Pipeline, cOps, cSweep)
+	eSweep := &pipeline.ReorderSweepAnalyzer{WindowsMS: windows}
+	pipeline.RunSlice(eecs.Pipeline, eOps, eSweep)
+	cPts, ePts := cSweep.Result, eSweep.Result
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 1: %% of accesses swapped vs reorder window (Wed 9am-12pm)\n")
 	fmt.Fprintf(&b, "%10s %12s %12s\n", "window(ms)", "CAMPUS", "EECS")
@@ -325,8 +273,9 @@ func Figure2(campus, eecs *Trace) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 2: cumulative %% of bytes accessed vs file size\n")
 	for _, tr := range []*Trace{campus, eecs} {
-		runs := analysis.DetectRuns(tr.Ops, analysis.DefaultRunConfig(tr.ReorderWindowMS))
-		pts := analysis.SizeProfile(runs)
+		ra := &pipeline.RunsAnalyzer{Config: analysis.DefaultRunConfig(tr.ReorderWindowMS)}
+		tr.analyze(ra)
+		pts := analysis.SizeProfile(ra.Result)
 		fmt.Fprintf(&b, "%s\n%12s %8s %8s %8s %8s\n", tr.Name,
 			"file size", "total", "entire", "seq", "random")
 		for _, p := range pts {
@@ -357,8 +306,11 @@ func fmtSize(n uint64) string {
 
 // Figure3 reports the cumulative block lifetime distribution.
 func Figure3(campus, eecs *Trace) string {
-	cb := weekdayBlockLife(campus)
-	eb := weekdayBlockLife(eecs)
+	cLife := blockLifeAnalyzer(campus)
+	campus.analyze(cLife)
+	eLife := blockLifeAnalyzer(eecs)
+	eecs.analyze(eLife)
+	cb, eb := cLife.Result, eLife.Result
 	marks := []struct {
 		label string
 		sec   float64
@@ -382,8 +334,11 @@ func Figure3(campus, eecs *Trace) string {
 // Figure4 reports the hourly op counts and read/write ratios across the
 // week.
 func Figure4(campus, eecs *Trace) string {
-	ch := analysis.Hourly(campus.Ops, campus.Days*workload.Day)
-	eh := analysis.Hourly(eecs.Ops, eecs.Days*workload.Day)
+	cHourly := &pipeline.HourlyAnalyzer{Span: campus.Days * workload.Day}
+	campus.analyze(cHourly)
+	eHourly := &pipeline.HourlyAnalyzer{Span: eecs.Days * workload.Day}
+	eecs.analyze(eHourly)
+	ch, eh := cHourly.Result, eHourly.Result
 	cr := ch.RWRatios()
 	er := eh.RWRatios()
 	days := []string{"Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"}
@@ -416,8 +371,9 @@ func Figure5(campus, eecs *Trace) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 5: average sequentiality metric vs bytes accessed in run\n")
 	for _, tr := range []*Trace{campus, eecs} {
-		runs := analysis.DetectRuns(tr.Ops, analysis.DefaultRunConfig(tr.ReorderWindowMS))
-		pts := analysis.SequentialityProfile(runs)
+		ra := &pipeline.RunsAnalyzer{Config: analysis.DefaultRunConfig(tr.ReorderWindowMS)}
+		tr.analyze(ra)
+		pts := analysis.SequentialityProfile(ra.Result)
 		fmt.Fprintf(&b, "%s\n%10s %9s %9s %9s %9s %9s\n", tr.Name,
 			"run bytes", "readK10", "readK1", "writeK10", "writeK1", "cum runs")
 		for _, p := range pts {
@@ -527,8 +483,12 @@ func ExpLoss(scale Scale) string {
 }
 
 // ExpHierarchy demonstrates §4.1.1: namespace reconstruction coverage.
+// The hierarchy is a global analyzer: the pipeline streams it the full
+// ordered trace on its own goroutine.
 func ExpHierarchy(campus *Trace) string {
-	cov := analysis.CoverageAfterWarmup(campus.Ops, 10*60)
+	hier := &pipeline.HierarchyAnalyzer{Warmup: 10 * 60}
+	campus.analyze(hier)
+	cov := hier.Coverage
 	var b strings.Builder
 	fmt.Fprintf(&b, "Experiment §4.1.1: hierarchy reconstruction\n")
 	fmt.Fprintf(&b, "  coverage after 10min warmup: %.2f%%\n", 100*cov)
@@ -538,7 +498,9 @@ func ExpHierarchy(campus *Trace) string {
 
 // TopProcs renders the procedure mix for a trace.
 func TopProcs(tr *Trace) string {
-	s := analysis.Summarize(tr.Ops, tr.Days)
+	sum := &pipeline.SummaryAnalyzer{Days: tr.Days}
+	tr.analyze(sum)
+	s := sum.Result
 	type pc struct {
 		name string
 		n    int64

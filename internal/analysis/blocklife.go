@@ -81,38 +81,100 @@ type blockLifeState struct {
 	margin    float64
 }
 
-// BlockLife runs the create-based analysis: Phase 1 covers [start,
-// start+phase), the end margin covers [start+phase, start+phase+margin).
-// The paper uses 24-hour phases with 24-hour margins, 9am to 9am.
-func BlockLife(ops []*core.Op, start, phase, margin float64) *BlockLifeResult {
-	st := &blockLifeState{
-		births:    make(map[string]map[int64]float64),
-		sizes:     make(map[string]uint64),
-		names:     make(map[string]string),
-		phase1End: start + phase,
-		margin:    margin,
+// BlockLifeStream is the incremental form of BlockLife: feed it
+// time-ordered operations with Consume and read the analysis with
+// Result. The sharded pipeline runs one stream per shard (the per-file
+// state partitions cleanly by handle) and merges the partial results
+// with MergeBlockLife.
+type BlockLifeStream struct {
+	st    blockLifeState
+	start float64
+	end   float64
+	done  bool
+}
+
+// NewBlockLifeStream prepares a create-based analysis: Phase 1 covers
+// [start, start+phase), the end margin covers [start+phase,
+// start+phase+margin). The paper uses 24-hour phases with 24-hour
+// margins, 9am to 9am.
+func NewBlockLifeStream(start, phase, margin float64) *BlockLifeStream {
+	s := &BlockLifeStream{
+		st: blockLifeState{
+			births:    make(map[string]map[int64]float64),
+			sizes:     make(map[string]uint64),
+			names:     make(map[string]string),
+			phase1End: start + phase,
+			margin:    margin,
+		},
+		start: start,
+		end:   start + phase + margin,
 	}
-	st.res.Lifetimes = &stats.CDF{}
-	end := start + phase + margin
+	s.st.res.Lifetimes = &stats.CDF{}
+	return s
+}
+
+// Consume folds one operation into the analysis. Ops must arrive in
+// time order; ops past the analysis window are ignored.
+func (s *BlockLifeStream) Consume(op *core.Op) {
+	if s.done || op.T >= s.end {
+		return
+	}
+	// Name tracking must run over the whole stream (including
+	// pre-window ops) so deletions resolve, and size tracking too.
+	s.st.trackNames(op)
+	if op.T < s.start {
+		s.st.trackSizes(op)
+		return
+	}
+	s.st.handle(op)
+	s.st.trackSizes(op)
+}
+
+// Result finalizes the stream (counting the end surplus) and returns
+// the analysis. After Result, further Consume calls are no-ops.
+func (s *BlockLifeStream) Result() *BlockLifeResult {
+	if !s.done {
+		// End surplus: Phase-1 births still alive.
+		for _, blocks := range s.st.births {
+			s.st.res.EndSurplus += int64(len(blocks))
+		}
+		s.done = true
+	}
+	return &s.st.res
+}
+
+// MergeBlockLife combines per-shard results into one, as if a single
+// stream had seen every shard's operations. All counters are integers
+// and the lifetime CDF merges by sample union, so the merged result is
+// independent of how files were partitioned.
+func MergeBlockLife(parts ...*BlockLifeResult) *BlockLifeResult {
+	out := &BlockLifeResult{Lifetimes: &stats.CDF{}}
+	for _, p := range parts {
+		out.Births += p.Births
+		out.Deaths += p.Deaths
+		out.EndSurplus += p.EndSurplus
+		for i := range p.BirthCause {
+			out.BirthCause[i] += p.BirthCause[i]
+		}
+		for i := range p.DeathCause {
+			out.DeathCause[i] += p.DeathCause[i]
+		}
+		out.Lifetimes.Merge(p.Lifetimes)
+	}
+	return out
+}
+
+// BlockLife runs the create-based analysis over a materialized op
+// slice. See NewBlockLifeStream for the windowing semantics.
+func BlockLife(ops []*core.Op, start, phase, margin float64) *BlockLifeResult {
+	s := NewBlockLifeStream(start, phase, margin)
 	for _, op := range ops {
-		if op.T >= end {
+		if op.T >= s.end {
 			break
 		}
-		// Name tracking must run over the whole stream (including
-		// pre-window ops) so deletions resolve, and size tracking too.
-		st.trackNames(op)
-		if op.T < start {
-			st.trackSizes(op)
-			continue
-		}
-		st.handle(op)
-		st.trackSizes(op)
+		s.Consume(op)
 	}
-	// End surplus: Phase-1 births still alive.
-	for _, blocks := range st.births {
-		st.res.EndSurplus += int64(len(blocks))
-	}
-	return &st.res
+	return s.Result()
 }
 
 // trackNames maintains the (dir, name) → file mapping from lookups and

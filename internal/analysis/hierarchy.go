@@ -90,6 +90,9 @@ func (h *Hierarchy) Path(fh string) (string, bool) {
 	return "[" + cur + "]/" + strings.Join(parts, "/"), true
 }
 
+// Known reports whether fh has been seen in any position.
+func (h *Hierarchy) Known(fh string) bool { return h.known[fh] }
+
 // Coverage reports the fraction of handle-bearing ops whose handle was
 // already known when the op arrived.
 func (h *Hierarchy) Coverage() float64 {

@@ -19,9 +19,9 @@ type HourlySeries struct {
 	BytesWrite *stats.TimeBuckets
 }
 
-// Hourly buckets every op into hours over [0, span).
-func Hourly(ops []*core.Op, span float64) *HourlySeries {
-	h := &HourlySeries{
+// NewHourly returns an empty per-hour accumulator over [0, span).
+func NewHourly(span float64) *HourlySeries {
+	return &HourlySeries{
 		Span:       span,
 		Ops:        stats.NewTimeBuckets(span, 3600),
 		ReadOps:    stats.NewTimeBuckets(span, 3600),
@@ -29,15 +29,35 @@ func Hourly(ops []*core.Op, span float64) *HourlySeries {
 		BytesRead:  stats.NewTimeBuckets(span, 3600),
 		BytesWrite: stats.NewTimeBuckets(span, 3600),
 	}
+}
+
+// Add folds one operation into its hour bucket.
+func (h *HourlySeries) Add(op *core.Op) {
+	h.Ops.Add(op.T, 1)
+	if op.IsRead() {
+		h.ReadOps.Add(op.T, 1)
+		h.BytesRead.Add(op.T, float64(op.Bytes()))
+	} else if op.IsWrite() {
+		h.WriteOps.Add(op.T, 1)
+		h.BytesWrite.Add(op.T, float64(op.Bytes()))
+	}
+}
+
+// Merge folds other's buckets into h. Both series must cover the same
+// span; bucket contents are whole counts, so merging is exact.
+func (h *HourlySeries) Merge(other *HourlySeries) {
+	h.Ops.Merge(other.Ops)
+	h.ReadOps.Merge(other.ReadOps)
+	h.WriteOps.Merge(other.WriteOps)
+	h.BytesRead.Merge(other.BytesRead)
+	h.BytesWrite.Merge(other.BytesWrite)
+}
+
+// Hourly buckets every op into hours over [0, span).
+func Hourly(ops []*core.Op, span float64) *HourlySeries {
+	h := NewHourly(span)
 	for _, op := range ops {
-		h.Ops.Add(op.T, 1)
-		if op.IsRead() {
-			h.ReadOps.Add(op.T, 1)
-			h.BytesRead.Add(op.T, float64(op.Bytes()))
-		} else if op.IsWrite() {
-			h.WriteOps.Add(op.T, 1)
-			h.BytesWrite.Add(op.T, float64(op.Bytes()))
-		}
+		h.Add(op)
 	}
 	return h
 }

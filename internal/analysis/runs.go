@@ -36,21 +36,32 @@ func (a Access) endBlock() int64 {
 
 func (a Access) startBlock() int64 { return int64(a.Offset / BlockSize) }
 
+// AccessMap groups data accesses by file handle, in trace order. It is
+// the incremental form of FileAccesses: shards of the pipeline each
+// accumulate one AccessMap for the files they own.
+type AccessMap map[string][]Access
+
+// Add appends op's data access to its file's list; metadata ops are
+// ignored.
+func (m AccessMap) Add(op *core.Op) {
+	if !op.IsRead() && !op.IsWrite() {
+		return
+	}
+	m[op.FH] = append(m[op.FH], Access{
+		T:      op.T,
+		Offset: op.Offset,
+		Count:  uint32(op.Bytes()),
+		Write:  op.IsWrite(),
+		EOF:    op.EOF,
+		Size:   op.Size,
+	})
+}
+
 // FileAccesses groups every data access by file handle, in trace order.
 func FileAccesses(ops []*core.Op) map[string][]Access {
-	m := make(map[string][]Access)
+	m := make(AccessMap)
 	for _, op := range ops {
-		if !op.IsRead() && !op.IsWrite() {
-			continue
-		}
-		m[op.FH] = append(m[op.FH], Access{
-			T:      op.T,
-			Offset: op.Offset,
-			Count:  uint32(op.Bytes()),
-			Write:  op.IsWrite(),
-			EOF:    op.EOF,
-			Size:   op.Size,
-		})
+		m.Add(op)
 	}
 	return m
 }
@@ -85,30 +96,45 @@ type ReorderSweepPoint struct {
 	SwappedPct float64
 }
 
-// ReorderSweep measures, for each window size, what fraction of
-// accesses the sorting pass moves (Figure 1). The input ops are grouped
-// per file; each sweep sorts a fresh copy.
-func ReorderSweep(ops []*core.Op, windowsMS []float64) []ReorderSweepPoint {
-	files := FileAccesses(ops)
-	var total int
+// SweepFiles counts, for each window size, how many accesses the
+// sorting pass moves across the given files, plus the total access
+// count. The raw counts (rather than percentages) let the pipeline sum
+// partial sweeps across shards exactly.
+func SweepFiles(files map[string][]Access, windowsMS []float64) (swaps []int, total int) {
 	for _, accs := range files {
 		total += len(accs)
 	}
-	out := make([]ReorderSweepPoint, 0, len(windowsMS))
-	for _, wms := range windowsMS {
-		swaps := 0
+	swaps = make([]int, len(windowsMS))
+	for i, wms := range windowsMS {
 		for _, accs := range files {
 			cp := make([]Access, len(accs))
 			copy(cp, accs)
-			swaps += SortWindow(cp, wms/1000)
+			swaps[i] += SortWindow(cp, wms/1000)
 		}
+	}
+	return swaps, total
+}
+
+// SweepPoints converts summed swap counts back into the Figure 1
+// percentage points.
+func SweepPoints(windowsMS []float64, swaps []int, total int) []ReorderSweepPoint {
+	out := make([]ReorderSweepPoint, 0, len(windowsMS))
+	for i, wms := range windowsMS {
 		pct := 0.0
 		if total > 0 {
-			pct = 100 * float64(swaps) / float64(total)
+			pct = 100 * float64(swaps[i]) / float64(total)
 		}
 		out = append(out, ReorderSweepPoint{WindowMS: wms, SwappedPct: pct})
 	}
 	return out
+}
+
+// ReorderSweep measures, for each window size, what fraction of
+// accesses the sorting pass moves (Figure 1). The input ops are grouped
+// per file; each sweep sorts a fresh copy.
+func ReorderSweep(ops []*core.Op, windowsMS []float64) []ReorderSweepPoint {
+	swaps, total := SweepFiles(FileAccesses(ops), windowsMS)
+	return SweepPoints(windowsMS, swaps, total)
 }
 
 // Run kinds.
@@ -166,11 +192,12 @@ func DefaultRunConfig(windowMS float64) RunConfig {
 	return RunConfig{ReorderWindow: windowMS / 1000, IdleGap: 30, JumpBlocks: 10}
 }
 
-// DetectRuns splits every file's accesses into runs and classifies
-// them.
-func DetectRuns(ops []*core.Op, cfg RunConfig) []Run {
-	files := FileAccesses(ops)
-	// Deterministic iteration order for reproducible output.
+// DetectRunsInFiles splits each file's accesses into runs and
+// classifies them, iterating files in sorted-handle order so the run
+// list is reproducible. Every consumer of runs (Tabulate, SizeProfile,
+// SequentialityProfile) aggregates per-run counts, so concatenating the
+// run lists of disjoint file sets yields identical tables.
+func DetectRunsInFiles(files map[string][]Access, cfg RunConfig) []Run {
 	fhs := make([]string, 0, len(files))
 	for fh := range files {
 		fhs = append(fhs, fh)
@@ -189,6 +216,12 @@ func DetectRuns(ops []*core.Op, cfg RunConfig) []Run {
 		runs = append(runs, splitRuns(fh, accs, cfg)...)
 	}
 	return runs
+}
+
+// DetectRuns splits every file's accesses into runs and classifies
+// them.
+func DetectRuns(ops []*core.Op, cfg RunConfig) []Run {
+	return DetectRunsInFiles(FileAccesses(ops), cfg)
 }
 
 // splitRuns applies the §4.2 run-break rules: a new run begins after an

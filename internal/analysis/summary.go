@@ -21,22 +21,48 @@ type Summary struct {
 	ProcCounts map[string]int64
 }
 
+// NewSummary returns an empty accumulator for a window of the given
+// number of days.
+func NewSummary(days float64) *Summary {
+	return &Summary{Days: days, ProcCounts: make(map[string]int64)}
+}
+
+// Add folds one operation into the summary.
+func (s *Summary) Add(op *core.Op) {
+	s.TotalOps++
+	s.ProcCounts[op.Proc]++
+	switch {
+	case op.IsRead():
+		s.ReadOps++
+		s.BytesRead += op.Bytes()
+	case op.IsWrite():
+		s.WriteOps++
+		s.BytesWritten += op.Bytes()
+	default:
+		s.MetadataOps++
+	}
+}
+
+// Merge folds other into s, as if other's operations had been added to
+// s directly. Every field is an integer count, so the merged summary is
+// identical whatever the partitioning.
+func (s *Summary) Merge(other *Summary) {
+	s.TotalOps += other.TotalOps
+	s.ReadOps += other.ReadOps
+	s.WriteOps += other.WriteOps
+	s.MetadataOps += other.MetadataOps
+	s.BytesRead += other.BytesRead
+	s.BytesWritten += other.BytesWritten
+	for proc, n := range other.ProcCounts {
+		s.ProcCounts[proc] += n
+	}
+}
+
 // Summarize computes totals over ops spanning the given number of days.
 func Summarize(ops []*core.Op, days float64) *Summary {
-	s := &Summary{Days: days, ProcCounts: make(map[string]int64)}
+	s := NewSummary(days)
 	for _, op := range ops {
-		s.TotalOps++
-		s.ProcCounts[op.Proc]++
-		switch {
-		case op.IsRead():
-			s.ReadOps++
-			s.BytesRead += op.Bytes()
-		case op.IsWrite():
-			s.WriteOps++
-			s.BytesWritten += op.Bytes()
-		default:
-			s.MetadataOps++
-		}
+		s.Add(op)
 	}
 	return s
 }

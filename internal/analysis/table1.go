@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"repro/internal/core"
+)
+
+// The qualitative Table 1 claims about CAMPUS that need real
+// computation: the share of peak-hour file instances that are lock
+// files or mailboxes (§6.3), and the share of data bytes moved to and
+// from mailboxes. Both are single-pass streaming accumulators that
+// defer categorization to Finish, when the full name→category map is
+// known — equivalent to the paper's two-pass reconstruction, and what
+// lets the pipeline shard them by file handle.
+
+// PeakHourInstances counts the distinct file instances referenced in a
+// fixed window and, of those, how many are lock files and mailboxes.
+type PeakHourInstances struct {
+	From, To float64
+
+	cat       map[string]NameCategory
+	instances map[string]bool
+}
+
+// NewPeakHourInstances prepares a count over [from, to).
+func NewPeakHourInstances(from, to float64) *PeakHourInstances {
+	return &PeakHourInstances{
+		From: from, To: to,
+		cat:       make(map[string]NameCategory),
+		instances: make(map[string]bool),
+	}
+}
+
+// Add folds one operation in. Name learning runs over the whole stream
+// (the §4.1.1 reconstruction — data ops carry only the handle);
+// instance collection is restricted to the window.
+func (p *PeakHourInstances) Add(op *core.Op) {
+	if op.NewFH != "" && op.Name != "" {
+		p.cat[op.NewFH] = Categorize(op.Name)
+	}
+	if op.T < p.From || op.T >= p.To {
+		return
+	}
+	switch op.Proc {
+	case "read", "write", "getattr", "setattr", "access", "commit":
+		p.note(op.FH)
+	case "create", "lookup":
+		p.note(op.NewFH)
+	}
+}
+
+func (p *PeakHourInstances) note(fh string) {
+	if fh != "" {
+		p.instances[fh] = true
+	}
+}
+
+// PeakHourResult is the finished count.
+type PeakHourResult struct {
+	Instances int
+	Locks     int
+	Mailboxes int
+}
+
+// LockFrac reports lock files as a fraction of instances.
+func (r PeakHourResult) LockFrac() float64 {
+	if r.Instances == 0 {
+		return 0
+	}
+	return float64(r.Locks) / float64(r.Instances)
+}
+
+// MailboxFrac reports mailboxes as a fraction of instances.
+func (r PeakHourResult) MailboxFrac() float64 {
+	if r.Instances == 0 {
+		return 0
+	}
+	return float64(r.Mailboxes) / float64(r.Instances)
+}
+
+// Finish categorizes the collected instances with the final name map.
+func (p *PeakHourInstances) Finish() PeakHourResult {
+	var r PeakHourResult
+	for fh := range p.instances {
+		r.Instances++
+		switch p.cat[fh] {
+		case CatLock:
+			r.Locks++
+		case CatMailbox:
+			r.Mailboxes++
+		}
+	}
+	return r
+}
+
+// MergePeakHour sums per-shard results; instance sets partitioned by
+// handle are disjoint, so the sums equal a single-pass count.
+func MergePeakHour(parts ...PeakHourResult) PeakHourResult {
+	var out PeakHourResult
+	for _, p := range parts {
+		out.Instances += p.Instances
+		out.Locks += p.Locks
+		out.Mailboxes += p.Mailboxes
+	}
+	return out
+}
+
+// MailboxShare accumulates the data bytes moved per file alongside the
+// mailbox and large-file handle sets, deferring the share computation
+// to Finish so that late name discoveries still count.
+type MailboxShare struct {
+	mailboxFH map[string]bool
+	big       map[string]bool
+	bytes     map[string]uint64
+}
+
+// NewMailboxShare returns an empty accumulator.
+func NewMailboxShare() *MailboxShare {
+	return &MailboxShare{
+		mailboxFH: make(map[string]bool),
+		big:       make(map[string]bool),
+		bytes:     make(map[string]uint64),
+	}
+}
+
+// Add folds one operation in.
+func (m *MailboxShare) Add(op *core.Op) {
+	if op.NewFH != "" && Categorize(op.Name) == CatMailbox {
+		m.mailboxFH[op.NewFH] = true
+	}
+	// Handles populated before the trace (setup inboxes) are found by
+	// size: multi-megabyte files on CAMPUS are mailboxes. The paper
+	// identifies them by name via the same hierarchy trick.
+	if op.Size > 1<<20 {
+		m.big[op.FH] = true
+	}
+	if op.IsRead() || op.IsWrite() {
+		m.bytes[op.FH] += op.Bytes()
+	}
+}
+
+// MailboxShareResult carries the per-shard sums; compute the final
+// share with MergeMailboxShare (a single accumulator merges with
+// itself alone).
+type MailboxShareResult struct {
+	Mailbox uint64 // bytes moved on named-mailbox handles
+	Alt     uint64 // bytes moved on named-mailbox or multi-megabyte handles
+	Total   uint64 // all data bytes
+}
+
+// Finish sums the per-file byte counts against the final handle sets.
+func (m *MailboxShare) Finish() MailboxShareResult {
+	var r MailboxShareResult
+	for fh, n := range m.bytes {
+		r.Total += n
+		if m.mailboxFH[fh] {
+			r.Mailbox += n
+		}
+		if m.mailboxFH[fh] || m.big[fh] {
+			r.Alt += n
+		}
+	}
+	return r
+}
+
+// MergeMailboxShare sums shard results and applies the fallback rule:
+// when named mailboxes account for under half the bytes, the large-file
+// estimate stands in. It returns (mailbox, total) bytes.
+func MergeMailboxShare(parts ...MailboxShareResult) (mailbox, total uint64) {
+	var sum MailboxShareResult
+	for _, p := range parts {
+		sum.Mailbox += p.Mailbox
+		sum.Alt += p.Alt
+		sum.Total += p.Total
+	}
+	mailbox = sum.Mailbox
+	if sum.Total > 0 && float64(mailbox)/float64(sum.Total) < 0.5 {
+		mailbox = sum.Alt
+	}
+	return mailbox, sum.Total
+}

@@ -1,0 +1,301 @@
+package pipeline
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/core"
+)
+
+// This file adapts each of the paper's analyses to the engine's
+// shard/merge contract. Every sharded analyzer here is exact: its
+// merged result is identical to a single sequential pass, either
+// because its state partitions by file handle (the router guarantees a
+// file's full history lands on one shard) or because its reduction is
+// an integer sum.
+
+// funcAcc adapts a consume function to Accumulator.
+type funcAcc struct{ f func(*core.Op) }
+
+func (a funcAcc) Consume(op *core.Op) { a.f(op) }
+
+// SummaryAnalyzer computes analysis.Summarize over the stream
+// (Tables 1 and 2).
+type SummaryAnalyzer struct {
+	// Days scales per-day averages; it may also be set on the Result
+	// after the run when the span is only known then.
+	Days float64
+	// Result is valid after the run.
+	Result *analysis.Summary
+
+	parts []*analysis.Summary
+}
+
+// Open implements Analyzer.
+func (a *SummaryAnalyzer) Open(shards int) []Accumulator {
+	accs := make([]Accumulator, shards)
+	a.parts = make([]*analysis.Summary, shards)
+	for i := range accs {
+		s := analysis.NewSummary(a.Days)
+		a.parts[i] = s
+		accs[i] = funcAcc{s.Add}
+	}
+	return accs
+}
+
+// Close implements Analyzer.
+func (a *SummaryAnalyzer) Close() {
+	a.Result = analysis.NewSummary(a.Days)
+	for _, p := range a.parts {
+		a.Result.Merge(p)
+	}
+}
+
+// HourlyAnalyzer computes analysis.Hourly over the stream (Table 5,
+// Figure 4). Span must be known up front — hour buckets are fixed at
+// construction.
+type HourlyAnalyzer struct {
+	Span float64
+	// Result is valid after the run.
+	Result *analysis.HourlySeries
+
+	parts []*analysis.HourlySeries
+}
+
+// Open implements Analyzer.
+func (a *HourlyAnalyzer) Open(shards int) []Accumulator {
+	accs := make([]Accumulator, shards)
+	a.parts = make([]*analysis.HourlySeries, shards)
+	for i := range accs {
+		h := analysis.NewHourly(a.Span)
+		a.parts[i] = h
+		accs[i] = funcAcc{h.Add}
+	}
+	return accs
+}
+
+// Close implements Analyzer.
+func (a *HourlyAnalyzer) Close() {
+	a.Result = analysis.NewHourly(a.Span)
+	for _, p := range a.parts {
+		a.Result.Merge(p)
+	}
+}
+
+// RunsAnalyzer detects access runs (Table 3, Figures 2 and 5). Each
+// shard accumulates per-file access lists and detects runs over its own
+// files at close; the run list is the concatenation in shard order.
+// Every downstream consumer (Tabulate, SizeProfile,
+// SequentialityProfile) aggregates per-run counts, so the concatenation
+// order cannot affect any table.
+type RunsAnalyzer struct {
+	Config analysis.RunConfig
+	// Result is valid after the run.
+	Result []analysis.Run
+
+	parts []analysis.AccessMap
+}
+
+// Open implements Analyzer.
+func (a *RunsAnalyzer) Open(shards int) []Accumulator {
+	accs := make([]Accumulator, shards)
+	a.parts = make([]analysis.AccessMap, shards)
+	for i := range accs {
+		m := make(analysis.AccessMap)
+		a.parts[i] = m
+		accs[i] = funcAcc{m.Add}
+	}
+	return accs
+}
+
+// Close implements Analyzer.
+func (a *RunsAnalyzer) Close() {
+	a.Result = nil
+	for _, m := range a.parts {
+		a.Result = append(a.Result, analysis.DetectRunsInFiles(m, a.Config)...)
+	}
+}
+
+// Table reports Tabulate over the detected runs.
+func (a *RunsAnalyzer) Table() analysis.RunTable { return analysis.Tabulate(a.Result) }
+
+// BlockLifeAnalyzer runs the create-based block-lifetime analysis
+// (Table 4, Figure 3). Block state is per file, and the router delivers
+// removes and renames to the owning shard, so per-shard streams merge
+// exactly.
+type BlockLifeAnalyzer struct {
+	Start, Phase, Margin float64
+	// Result is valid after the run.
+	Result *analysis.BlockLifeResult
+
+	parts []*analysis.BlockLifeStream
+}
+
+// Open implements Analyzer.
+func (a *BlockLifeAnalyzer) Open(shards int) []Accumulator {
+	accs := make([]Accumulator, shards)
+	a.parts = make([]*analysis.BlockLifeStream, shards)
+	for i := range accs {
+		s := analysis.NewBlockLifeStream(a.Start, a.Phase, a.Margin)
+		a.parts[i] = s
+		accs[i] = s
+	}
+	return accs
+}
+
+// Close implements Analyzer.
+func (a *BlockLifeAnalyzer) Close() {
+	results := make([]*analysis.BlockLifeResult, len(a.parts))
+	for i, s := range a.parts {
+		results[i] = s.Result()
+	}
+	a.Result = analysis.MergeBlockLife(results...)
+}
+
+// ReorderSweepAnalyzer measures swapped accesses per reorder-window
+// size (Figure 1). Sorting windows apply per file, so shards sweep
+// their own files and the swap counts sum.
+type ReorderSweepAnalyzer struct {
+	WindowsMS []float64
+	// Result is valid after the run.
+	Result []analysis.ReorderSweepPoint
+
+	parts []analysis.AccessMap
+}
+
+// Open implements Analyzer.
+func (a *ReorderSweepAnalyzer) Open(shards int) []Accumulator {
+	accs := make([]Accumulator, shards)
+	a.parts = make([]analysis.AccessMap, shards)
+	for i := range accs {
+		m := make(analysis.AccessMap)
+		a.parts[i] = m
+		accs[i] = funcAcc{m.Add}
+	}
+	return accs
+}
+
+// Close implements Analyzer.
+func (a *ReorderSweepAnalyzer) Close() {
+	swaps := make([]int, len(a.WindowsMS))
+	total := 0
+	for _, m := range a.parts {
+		s, t := analysis.SweepFiles(m, a.WindowsMS)
+		for i := range swaps {
+			swaps[i] += s[i]
+		}
+		total += t
+	}
+	a.Result = analysis.SweepPoints(a.WindowsMS, swaps, total)
+}
+
+// PeakHourAnalyzer counts peak-hour file instances by category
+// (Table 1). Instance sets partition by handle, so shard counts sum.
+type PeakHourAnalyzer struct {
+	From, To float64
+	// Result is valid after the run.
+	Result analysis.PeakHourResult
+
+	parts []*analysis.PeakHourInstances
+}
+
+// Open implements Analyzer.
+func (a *PeakHourAnalyzer) Open(shards int) []Accumulator {
+	accs := make([]Accumulator, shards)
+	a.parts = make([]*analysis.PeakHourInstances, shards)
+	for i := range accs {
+		p := analysis.NewPeakHourInstances(a.From, a.To)
+		a.parts[i] = p
+		accs[i] = funcAcc{p.Add}
+	}
+	return accs
+}
+
+// Close implements Analyzer.
+func (a *PeakHourAnalyzer) Close() {
+	results := make([]analysis.PeakHourResult, len(a.parts))
+	for i, p := range a.parts {
+		results[i] = p.Finish()
+	}
+	a.Result = analysis.MergePeakHour(results...)
+}
+
+// MailboxAnalyzer computes the mailbox share of data bytes (Table 1).
+type MailboxAnalyzer struct {
+	// MailboxBytes and TotalBytes are valid after the run.
+	MailboxBytes, TotalBytes uint64
+
+	parts []*analysis.MailboxShare
+}
+
+// Open implements Analyzer.
+func (a *MailboxAnalyzer) Open(shards int) []Accumulator {
+	accs := make([]Accumulator, shards)
+	a.parts = make([]*analysis.MailboxShare, shards)
+	for i := range accs {
+		m := analysis.NewMailboxShare()
+		a.parts[i] = m
+		accs[i] = funcAcc{m.Add}
+	}
+	return accs
+}
+
+// Close implements Analyzer.
+func (a *MailboxAnalyzer) Close() {
+	results := make([]analysis.MailboxShareResult, len(a.parts))
+	for i, m := range a.parts {
+		results[i] = m.Finish()
+	}
+	a.MailboxBytes, a.TotalBytes = analysis.MergeMailboxShare(results...)
+}
+
+// HierarchyAnalyzer measures §4.1.1 namespace-reconstruction coverage.
+// The hierarchy's state is inherently global — a directory becomes
+// "known" through other files' lookups — so this is a GlobalAnalyzer:
+// it sees the whole ordered stream on its own goroutine, overlapping
+// the sharded work instead of partitioning it.
+type HierarchyAnalyzer struct {
+	Warmup float64
+	// Coverage is valid after the run.
+	Coverage float64
+
+	acc *hierarchyAcc
+}
+
+// Unsharded marks HierarchyAnalyzer as global.
+func (a *HierarchyAnalyzer) Unsharded() {}
+
+// Open implements Analyzer.
+func (a *HierarchyAnalyzer) Open(shards int) []Accumulator {
+	a.acc = &hierarchyAcc{h: analysis.NewHierarchy(), warmup: a.Warmup}
+	return []Accumulator{a.acc}
+}
+
+// Close implements Analyzer.
+func (a *HierarchyAnalyzer) Close() {
+	a.Coverage = 0
+	if a.acc != nil && a.acc.total > 0 {
+		a.Coverage = float64(a.acc.resolvable) / float64(a.acc.total)
+	}
+}
+
+type hierarchyAcc struct {
+	h      *analysis.Hierarchy
+	warmup float64
+
+	started           bool
+	start             float64
+	resolvable, total int64
+}
+
+func (c *hierarchyAcc) Consume(op *core.Op) {
+	if !c.started {
+		c.start = op.T + c.warmup
+		c.started = true
+	}
+	if op.T >= c.start && op.FH != "" {
+		c.total++
+		if c.h.Known(op.FH) {
+			c.resolvable++
+		}
+	}
+	c.h.Observe(op)
+}

@@ -1,0 +1,92 @@
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+var (
+	benchOnce sync.Once
+	benchOps  []*core.Op
+	benchSpan float64
+)
+
+func benchTrace(b *testing.B) ([]*core.Op, float64) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchOps = genOps(b, 1)
+		benchSpan = benchOps[len(benchOps)-1].T - benchOps[0].T
+	})
+	return benchOps, benchSpan
+}
+
+// BenchmarkEngine measures the full reducer suite over the CAMPUS
+// generator workload at several worker counts. The per-iteration
+// metric is analysis throughput in operations per second.
+func BenchmarkEngine(b *testing.B) {
+	ops, span := benchTrace(b)
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				set := newAnalyzerSet(span)
+				RunSlice(Config{Workers: workers}, ops, set.analyzers()...)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(ops))*float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+		})
+	}
+}
+
+// BenchmarkRouter isolates the sequential routing stage — the Amdahl
+// ceiling on shard scaling.
+func BenchmarkRouter(b *testing.B) {
+	ops, _ := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt := newRouter(8)
+		for _, op := range ops {
+			rt.shard(op)
+		}
+	}
+	b.SetBytes(int64(len(ops)))
+}
+
+// BenchmarkJoiner measures streaming join throughput against the
+// materializing core.Join.
+func BenchmarkJoiner(b *testing.B) {
+	records := genRecords(b, 0.5)
+	b.Run("streaming", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			j := NewJoiner(&core.SliceSource{Records: records})
+			n := 0
+			for {
+				if _, err := j.Next(); err != nil {
+					break
+				}
+				n++
+			}
+			if n == 0 {
+				b.Fatal("no ops")
+			}
+		}
+		b.SetBytes(int64(len(records)))
+	})
+	b.Run("materialized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ops, _ := core.Join(records)
+			if len(ops) == 0 {
+				b.Fatal("no ops")
+			}
+		}
+		b.SetBytes(int64(len(records)))
+	})
+}

@@ -1,0 +1,363 @@
+// Package pipeline is the streaming, sharded trace-processing engine.
+//
+// The paper's analyses were designed for multi-day, multi-million-record
+// traces that could never fit in one pass of one core's cache, and the
+// original slice-based flow here (materialize every joined operation,
+// then run each analysis over the full slice) mirrored the paper's
+// presentation rather than its scale. This package replaces that flow
+// with a pipeline:
+//
+//	records ──► Joiner ──► router ──► shard workers ──► merge
+//	            (streaming             (hash by file      (per-shard
+//	             call/reply             handle, name-      reducers)
+//	             matching)              resolved)
+//
+// A Joiner matches calls to replies incrementally and emits operations
+// in call-time order with bounded reordering state. The router hashes
+// each operation to one of N shards by the file handle it concerns —
+// resolving remove and rename through a (directory, name) → handle map
+// so that an operation always lands on the shard that owns the file it
+// affects — and hands workers bounded batches. Each worker feeds its
+// shard's accumulator for every registered Analyzer; when the stream
+// ends, each analyzer folds its per-shard accumulators into one result.
+//
+// Determinism is a design requirement, not an accident: every analyzer
+// shipped here either partitions exactly by file handle (runs, block
+// lifetimes, reorder sweeps, per-file byte accounting) or reduces by
+// integer sums whose value is independent of the partitioning (summary
+// counts, hourly buckets). Table 1 through Table 5 and Figure 1 through
+// Figure 5 therefore produce byte-identical output at any worker count,
+// which the tests enforce. Analyses whose state genuinely spans files —
+// the §4.1.1 namespace hierarchy — implement GlobalAnalyzer and run on
+// a dedicated goroutine over the full ordered stream instead (pipeline
+// parallelism rather than data parallelism).
+package pipeline
+
+import (
+	"io"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Config sizes the engine.
+type Config struct {
+	// Workers is the shard count; <= 0 selects runtime.GOMAXPROCS(0).
+	// One worker reproduces the sequential analysis exactly; any other
+	// count produces identical results by construction.
+	Workers int
+	// BatchSize is the number of ops handed to a worker at a time;
+	// <= 0 selects 1024. Larger batches amortize channel overhead,
+	// smaller ones bound latency and memory.
+	BatchSize int
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) batchSize() int {
+	if c.BatchSize > 0 {
+		return c.BatchSize
+	}
+	return 1024
+}
+
+// OpSource yields joined operations in call-time order; io.EOF ends the
+// stream. SliceOps adapts an in-memory slice; Joiner adapts a record
+// stream from a trace file or capture.
+type OpSource interface {
+	Next() (*core.Op, error)
+}
+
+// sliceOps is the in-memory OpSource.
+type sliceOps struct {
+	ops []*core.Op
+	i   int
+}
+
+// SliceOps adapts an op slice to OpSource.
+func SliceOps(ops []*core.Op) OpSource { return &sliceOps{ops: ops} }
+
+func (s *sliceOps) Next() (*core.Op, error) {
+	if s.i >= len(s.ops) {
+		return nil, io.EOF
+	}
+	op := s.ops[s.i]
+	s.i++
+	return op, nil
+}
+
+// Accumulator consumes the operations routed to one shard, in stream
+// order. Implementations are never called concurrently.
+type Accumulator interface {
+	Consume(op *core.Op)
+}
+
+// Analyzer is one reduction over the op stream. Open is called once per
+// run and returns one accumulator per shard; accumulator i sees exactly
+// the operations routed to shard i, in stream order. Close folds the
+// accumulators into the analyzer's result. Analyzers are single-use:
+// construct a fresh one per run.
+type Analyzer interface {
+	Open(shards int) []Accumulator
+	Close()
+}
+
+// GlobalAnalyzer marks analyses whose state cannot be partitioned by
+// file handle (for example the namespace hierarchy, where a directory's
+// edges are learned from other files' lookups). The engine calls
+// Open(1) and streams every operation, in order, to the single
+// accumulator on a dedicated goroutine.
+type GlobalAnalyzer interface {
+	Analyzer
+	// Unsharded is a marker; it is never called.
+	Unsharded()
+}
+
+// Stats summarizes a completed run.
+type Stats struct {
+	// Ops is the number of operations processed.
+	Ops int64
+	// MinT and MaxT are the earliest and latest call times seen.
+	MinT, MaxT float64
+}
+
+// Span reports MaxT - MinT, the trace window in seconds.
+func (s Stats) Span() float64 {
+	if s.Ops == 0 {
+		return 0
+	}
+	return s.MaxT - s.MinT
+}
+
+// router assigns each op to the shard that owns the file it affects.
+// Operations that create name → handle bindings are routed by the new
+// handle; removes and renames are resolved through the binding map the
+// same way the block-lifetime analysis resolves them, so a shard's
+// reducers always see the complete story of their files.
+type router struct {
+	shards uint64
+	names  map[string]string
+}
+
+func newRouter(shards int) *router {
+	return &router{
+		shards: uint64(shards),
+		names:  make(map[string]string),
+	}
+}
+
+// fnv1a hashes the routing key; FNV-1a keeps shard assignment
+// deterministic across runs and machines, which makes any divergence a
+// reproducible bug rather than a flake.
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (r *router) shard(op *core.Op) int {
+	key := r.key(op)
+	if r.shards == 1 {
+		// Binding maintenance inside key() still ran, so the map stays
+		// bounded and identical whatever the shard count; only the
+		// hash is skipped.
+		return 0
+	}
+	return int(fnv1a(key) % r.shards)
+}
+
+// key computes the routing key and maintains the binding map — the two
+// are inseparable: routing a remove needs the binding, and the binding
+// lifecycle must be identical at every worker count.
+func (r *router) key(op *core.Op) string {
+	switch op.Proc {
+	case "lookup", "create", "mkdir", "symlink":
+		// The op names a (possibly new) file: bind and route by it.
+		if op.Name != "" && op.NewFH != "" {
+			r.names[op.FH+"\x00"+op.Name] = op.NewFH
+		}
+		if op.NewFH != "" {
+			return op.NewFH
+		}
+	case "rename":
+		// The moved file's shard must see the rename so its binding
+		// follows, exactly as blockLifeState.trackNames applies it.
+		k := op.FH + "\x00" + op.Name
+		if fh, ok := r.names[k]; ok {
+			delete(r.names, k)
+			r.names[op.FH2+"\x00"+op.Name2] = fh
+			return fh
+		}
+	case "remove", "rmdir":
+		// Route the removal to the shard owning the removed object,
+		// dropping the binding only on success — a failed remove
+		// leaves the name in place, mirroring the analyses. (The
+		// per-shard analyses ignore rmdir, so for them the routing
+		// choice is immaterial; resolving it here keeps the binding
+		// map from growing forever on mkdir/rmdir churn.)
+		k := op.FH + "\x00" + op.Name
+		if fh, ok := r.names[k]; ok {
+			if op.OK() {
+				delete(r.names, k)
+			}
+			return fh
+		}
+	}
+	if op.FH != "" {
+		return op.FH
+	}
+	// Handleless ops (null, fsstat against the root, ...): spread by
+	// client so no shard becomes a hot spot.
+	return strconv.FormatUint(uint64(op.Client), 16)
+}
+
+// Run streams src through the engine, feeding every analyzer, and
+// returns stream statistics. On a source error the workers are drained
+// and the error returned; analyzer results are then undefined.
+func Run(cfg Config, src OpSource, analyzers ...Analyzer) (Stats, error) {
+	workers := cfg.workers()
+	batch := cfg.batchSize()
+
+	var sharded []Analyzer
+	var global []Analyzer
+	for _, a := range analyzers {
+		if _, ok := a.(GlobalAnalyzer); ok {
+			global = append(global, a)
+		} else {
+			sharded = append(sharded, a)
+		}
+	}
+
+	// Per-shard accumulator lists, grouped by shard for the hot loop.
+	perShard := make([][]Accumulator, workers)
+	for _, a := range sharded {
+		accs := a.Open(workers)
+		for i, acc := range accs {
+			perShard[i] = append(perShard[i], acc)
+		}
+	}
+
+	var wg sync.WaitGroup
+	shardCh := make([]chan []*core.Op, workers)
+	for w := 0; w < workers; w++ {
+		shardCh[w] = make(chan []*core.Op, 4)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			accs := perShard[w]
+			for b := range shardCh[w] {
+				for _, op := range b {
+					for _, acc := range accs {
+						acc.Consume(op)
+					}
+				}
+			}
+		}(w)
+	}
+
+	globalCh := make([]chan []*core.Op, len(global))
+	for g, a := range global {
+		globalCh[g] = make(chan []*core.Op, 4)
+		acc := a.Open(1)[0]
+		wg.Add(1)
+		go func(g int, acc Accumulator) {
+			defer wg.Done()
+			for b := range globalCh[g] {
+				for _, op := range b {
+					acc.Consume(op)
+				}
+			}
+		}(g, acc)
+	}
+
+	shutdown := func() {
+		for _, ch := range shardCh {
+			close(ch)
+		}
+		for _, ch := range globalCh {
+			close(ch)
+		}
+		wg.Wait()
+	}
+
+	rt := newRouter(workers)
+	bufs := make([][]*core.Op, workers)
+	var ordered []*core.Op
+	var stats Stats
+
+	flushShard := func(w int) {
+		if len(bufs[w]) > 0 {
+			shardCh[w] <- bufs[w]
+			bufs[w] = nil
+		}
+	}
+	flushOrdered := func() {
+		if len(ordered) > 0 {
+			for _, ch := range globalCh {
+				// One read-only batch shared by every global analyzer.
+				ch <- ordered
+			}
+			ordered = nil
+		}
+	}
+
+	for {
+		op, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			for w := range bufs {
+				bufs[w] = nil
+			}
+			ordered = nil
+			shutdown()
+			return stats, err
+		}
+		if stats.Ops == 0 || op.T < stats.MinT {
+			stats.MinT = op.T
+		}
+		if stats.Ops == 0 || op.T > stats.MaxT {
+			stats.MaxT = op.T
+		}
+		stats.Ops++
+
+		w := rt.shard(op)
+		bufs[w] = append(bufs[w], op)
+		if len(bufs[w]) >= batch {
+			flushShard(w)
+		}
+		if len(globalCh) > 0 {
+			ordered = append(ordered, op)
+			if len(ordered) >= batch {
+				flushOrdered()
+			}
+		}
+	}
+	for w := range bufs {
+		flushShard(w)
+	}
+	flushOrdered()
+	shutdown()
+
+	for _, a := range analyzers {
+		a.Close()
+	}
+	return stats, nil
+}
+
+// RunSlice runs analyzers over an in-memory op slice; it cannot fail.
+func RunSlice(cfg Config, ops []*core.Op, analyzers ...Analyzer) Stats {
+	stats, _ := Run(cfg, SliceOps(ops), analyzers...)
+	return stats
+}

@@ -1,0 +1,259 @@
+package pipeline
+
+import (
+	"container/heap"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Joiner matches call records to reply records incrementally and emits
+// joined operations in call-time order, replacing the
+// materialize-then-sort core.Join for streaming sources. Records must
+// arrive in capture-time order (every trace source here produces them
+// that way).
+//
+// An operation's time is its call's time, but the operation is only
+// complete when the reply arrives, so completions surface out of order
+// by up to the RPC latency. The joiner holds completed operations in a
+// heap and releases one as soon as nothing earlier can still appear:
+// the release horizon is the minimum of the last record time seen and
+// the oldest still-pending call.
+//
+// A call whose reply was lost would pin that horizon forever — one
+// dropped packet must not buffer the rest of a week-long trace — so a
+// pending call older than MaxCallAge is expired early and surfaces as
+// an unmatched operation right away instead of at end of stream.
+// Memory is therefore bounded by the in-flight window plus one
+// MaxCallAge of unmatched calls. The §4.1.4 loss statistics are
+// unchanged; the only divergence from core.Join is a reply arriving
+// more than MaxCallAge after its call, which then counts as an orphan.
+type Joiner struct {
+	src     core.RecordSource
+	pending map[joinKey]*core.Record
+	// pendT tracks pending calls by time so the release horizon is
+	// O(log n) to maintain; matched entries are deleted lazily.
+	pendT    pendHeap
+	pendGone map[pendEntry]bool
+	ready    opHeap
+	seq      int64
+	lastT    float64
+	drained  bool
+	stats    core.JoinStats
+
+	// MaxCallAge is how long a call may wait for its reply before it
+	// is given up as unmatched; 0 selects DefaultMaxCallAge. Real RPC
+	// latencies are milliseconds, so the default diverges from
+	// core.Join only on pathological traces.
+	MaxCallAge float64
+}
+
+// DefaultMaxCallAge is the default reply-wait budget, far beyond any
+// NFS client's retransmission schedule.
+const DefaultMaxCallAge = 300.0
+
+type joinKey struct {
+	client uint32
+	port   uint16
+	xid    uint32
+}
+
+// pendEntry identifies one pending call in the age heap. Entries are
+// unique: while a call is pending, a duplicate of its key is dropped
+// as a retransmission, so (key, time) cannot repeat.
+type pendEntry struct {
+	t float64
+	k joinKey
+}
+
+// NewJoiner wraps a time-ordered record source.
+func NewJoiner(src core.RecordSource) *Joiner {
+	return &Joiner{
+		src:      src,
+		pending:  make(map[joinKey]*core.Record),
+		pendGone: make(map[pendEntry]bool),
+	}
+}
+
+func (j *Joiner) maxCallAge() float64 {
+	if j.MaxCallAge > 0 {
+		return j.MaxCallAge
+	}
+	return DefaultMaxCallAge
+}
+
+// Stats reports call/reply matching statistics; the §4.1.4 loss
+// estimate is complete once Next has returned io.EOF.
+func (j *Joiner) Stats() core.JoinStats { return j.stats }
+
+// minPending returns the oldest pending call time, discarding lazily
+// deleted entries, or ok=false when no calls are pending.
+func (j *Joiner) minPending() (float64, bool) {
+	for j.pendT.Len() > 0 {
+		e := j.pendT[0]
+		if j.pendGone[e] {
+			delete(j.pendGone, e)
+			heap.Pop(&j.pendT)
+			continue
+		}
+		return e.t, true
+	}
+	return 0, false
+}
+
+// expireStale gives up on calls that have waited longer than
+// MaxCallAge, surfacing them as unmatched operations so they stop
+// pinning the release horizon.
+func (j *Joiner) expireStale() {
+	limit := j.lastT - j.maxCallAge()
+	for {
+		t, ok := j.minPending()
+		if !ok || t > limit {
+			return
+		}
+		e := j.pendT[0]
+		heap.Pop(&j.pendT)
+		call := j.pending[e.k]
+		delete(j.pending, e.k)
+		j.stats.UnmatchedCalls++
+		j.push(core.FromPair(call, nil))
+	}
+}
+
+// horizon is the time below which no new operation can appear.
+func (j *Joiner) horizon() float64 {
+	h := j.lastT
+	if t, ok := j.minPending(); ok && t < h {
+		h = t
+	}
+	return h
+}
+
+func (j *Joiner) push(op *core.Op) {
+	j.seq++
+	heap.Push(&j.ready, readyOp{op: op, seq: j.seq})
+}
+
+// ingest consumes one record, updating pending and ready state.
+func (j *Joiner) ingest(r *core.Record) {
+	j.lastT = r.Time
+	j.expireStale()
+	k := joinKey{r.Client, r.Port, r.XID}
+	switch r.Kind {
+	case core.KindCall:
+		j.stats.Calls++
+		if _, ok := j.pending[k]; ok {
+			// Retransmission: keep the original call time, drop the
+			// duplicate, as the paper's tracer did.
+			return
+		}
+		j.pending[k] = r
+		heap.Push(&j.pendT, pendEntry{t: r.Time, k: k})
+	case core.KindReply:
+		j.stats.Replies++
+		call, ok := j.pending[k]
+		if !ok {
+			j.stats.OrphanReplies++
+			return
+		}
+		delete(j.pending, k)
+		j.pendGone[pendEntry{t: call.Time, k: k}] = true
+		j.stats.Matched++
+		j.push(core.FromPair(call, r))
+	}
+}
+
+// drain flushes the calls that never got replies, in deterministic
+// order, once the source is exhausted.
+func (j *Joiner) drain() {
+	unmatched := make([]*core.Record, 0, len(j.pending))
+	for _, call := range j.pending {
+		unmatched = append(unmatched, call)
+	}
+	sort.Slice(unmatched, func(a, b int) bool {
+		x, y := unmatched[a], unmatched[b]
+		if x.Time != y.Time {
+			return x.Time < y.Time
+		}
+		if x.Client != y.Client {
+			return x.Client < y.Client
+		}
+		if x.Port != y.Port {
+			return x.Port < y.Port
+		}
+		return x.XID < y.XID
+	})
+	for _, call := range unmatched {
+		j.stats.UnmatchedCalls++
+		j.push(core.FromPair(call, nil))
+	}
+	j.pending = nil
+	j.pendT = nil
+	j.pendGone = nil
+	j.drained = true
+}
+
+// Next implements OpSource.
+func (j *Joiner) Next() (*core.Op, error) {
+	for {
+		if j.drained {
+			if j.ready.Len() == 0 {
+				return nil, io.EOF
+			}
+			return heap.Pop(&j.ready).(readyOp).op, nil
+		}
+		if j.ready.Len() > 0 && j.ready[0].op.T < j.horizon() {
+			return heap.Pop(&j.ready).(readyOp).op, nil
+		}
+		r, err := j.src.Next()
+		if err == io.EOF {
+			j.drain()
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		j.ingest(r)
+	}
+}
+
+// readyOp orders completed operations by call time; the completion
+// sequence breaks ties deterministically.
+type readyOp struct {
+	op  *core.Op
+	seq int64
+}
+
+type opHeap []readyOp
+
+func (h opHeap) Len() int { return len(h) }
+func (h opHeap) Less(i, k int) bool {
+	if h[i].op.T != h[k].op.T {
+		return h[i].op.T < h[k].op.T
+	}
+	return h[i].seq < h[k].seq
+}
+func (h opHeap) Swap(i, k int) { h[i], h[k] = h[k], h[i] }
+func (h *opHeap) Push(x any)   { *h = append(*h, x.(readyOp)) }
+func (h *opHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type pendHeap []pendEntry
+
+func (h pendHeap) Len() int           { return len(h) }
+func (h pendHeap) Less(i, k int) bool { return h[i].t < h[k].t }
+func (h pendHeap) Swap(i, k int)      { h[i], h[k] = h[k], h[i] }
+func (h *pendHeap) Push(x any)        { *h = append(*h, x.(pendEntry)) }
+func (h *pendHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

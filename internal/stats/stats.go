@@ -183,6 +183,18 @@ func (c *CDF) At(v float64) float64 {
 	return float64(i) / float64(len(c.samples))
 }
 
+// Merge folds the samples of other into c, as if every sample added to
+// other had been added to c. Percentiles over the merged CDF are exact
+// (sample multisets union), which is what lets the sharded pipeline
+// reduce per-shard lifetime distributions without approximation.
+func (c *CDF) Merge(other *CDF) {
+	if other == nil || len(other.samples) == 0 {
+		return
+	}
+	c.samples = append(c.samples, other.samples...)
+	c.sorted = false
+}
+
 // Percentile reports the p-th percentile (p in [0,100]) using
 // nearest-rank. It returns 0 for an empty CDF.
 func (c *CDF) Percentile(p float64) float64 {
@@ -250,6 +262,20 @@ func (b *TimeBuckets) Width() float64 { return b.width }
 
 // Values returns the underlying bucket slice (not a copy).
 func (b *TimeBuckets) Values() []float64 { return b.buckets }
+
+// Merge adds other's buckets into b. Both accumulators must have been
+// created with the same span and width. Because every amount added by
+// the analyses is a whole number well below 2^53, float64 addition here
+// is exact and the merged totals are independent of shard order.
+func (b *TimeBuckets) Merge(other *TimeBuckets) {
+	if other.width != b.width || len(other.buckets) != len(b.buckets) {
+		panic(fmt.Sprintf("stats: merging mismatched time buckets (%v/%d vs %v/%d)",
+			b.width, len(b.buckets), other.width, len(other.buckets)))
+	}
+	for i, v := range other.buckets {
+		b.buckets[i] += v
+	}
+}
 
 // Ratio builds a per-bucket ratio series num[i]/den[i]; buckets where the
 // denominator is zero yield 0.

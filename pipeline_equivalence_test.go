@@ -1,0 +1,85 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+// TestTablesByteIdenticalAcrossWorkers is the end-to-end determinism
+// guarantee for the sharded pipeline: every table and figure renders
+// byte-identically whether the analyses run on one worker (the
+// sequential reference) or many.
+func TestTablesByteIdenticalAcrossWorkers(t *testing.T) {
+	scale := SmallScale()
+	campus := GenerateCampus(scale)
+	eecs := GenerateEECS(scale)
+
+	experiments := map[string]func(*Trace, *Trace) string{
+		"Table1": Table1, "Table2": Table2, "Table3": Table3,
+		"Table4": Table4, "Table5": Table5,
+		"Figure1": Figure1, "Figure2": Figure2, "Figure3": Figure3,
+		"Figure4": Figure4, "Figure5": Figure5,
+	}
+
+	render := func(workers int) map[string]string {
+		campus.Pipeline = pipeline.Config{Workers: workers}
+		eecs.Pipeline = pipeline.Config{Workers: workers}
+		out := make(map[string]string, len(experiments)+1)
+		for name, fn := range experiments {
+			out[name] = fn(campus, eecs)
+		}
+		out["ExpHierarchy"] = ExpHierarchy(campus)
+		return out
+	}
+
+	want := render(1)
+	for _, workers := range []int{2, 8} {
+		got := render(workers)
+		for name := range experiments {
+			if got[name] != want[name] {
+				t.Errorf("%s differs between 1 and %d workers:\n--- 1 worker ---\n%s\n--- %d workers ---\n%s",
+					name, workers, want[name], workers, got[name])
+			}
+		}
+		if got["ExpHierarchy"] != want["ExpHierarchy"] {
+			t.Errorf("ExpHierarchy differs between 1 and %d workers", workers)
+		}
+	}
+}
+
+// TestPipelineDefaultConfig checks that the zero-value Trace runs the
+// tables without explicit pipeline configuration.
+func TestPipelineDefaultConfig(t *testing.T) {
+	scale := SmallScale()
+	scale.Days = 0.25
+	campus := GenerateCampus(scale)
+	eecs := GenerateEECS(scale)
+	for i, fn := range []func(*Trace, *Trace) string{Table2, Table5} {
+		if out := fn(campus, eecs); len(out) == 0 {
+			t.Errorf("experiment %d: empty output with default pipeline config", i)
+		}
+	}
+	if campus.Pipeline != (pipeline.Config{}) {
+		t.Errorf("running tables mutated the trace's pipeline config: %+v", campus.Pipeline)
+	}
+}
+
+// TestPipelineWorkerSweepSmoke exercises odd worker counts end to end.
+func TestPipelineWorkerSweepSmoke(t *testing.T) {
+	scale := SmallScale()
+	scale.Days = 0.25
+	campus := GenerateCampus(scale)
+	eecs := GenerateEECS(scale)
+	var want string
+	for i, workers := range []int{1, 3, 5, 16} {
+		campus.Pipeline.Workers = workers
+		eecs.Pipeline.Workers = workers
+		got := Table3(campus, eecs)
+		if i == 0 {
+			want = got
+		} else if got != want {
+			t.Errorf("Table3 at %d workers differs from 1 worker", workers)
+		}
+	}
+}

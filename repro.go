@@ -14,6 +14,12 @@
 //   - Experiments: Table1–Table5 and Figure1–Figure5 regenerate every
 //     table and figure of the paper's evaluation, plus the §4.1.4,
 //     §4.1.5, §6.3, and §6.4 side experiments.
+//
+// The tables and figures run on the internal/pipeline engine: each
+// trace is streamed once per experiment through sharded per-file
+// reducers whose merged results are byte-identical at any worker count.
+// Set Trace.Pipeline to control the sharding; the zero value uses one
+// worker per CPU.
 package repro
 
 import (
@@ -25,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/netem"
 	"repro/internal/pcap"
+	"repro/internal/pipeline"
 	"repro/internal/workload"
 )
 
@@ -41,6 +48,16 @@ type Trace struct {
 	// ReorderWindowMS is the §4.2 sorting window appropriate for this
 	// system (5 for EECS, 10 for CAMPUS).
 	ReorderWindowMS float64
+	// Pipeline configures the sharded analysis engine the tables and
+	// figures run on. The zero value uses one worker per CPU; every
+	// worker count produces byte-identical output.
+	Pipeline pipeline.Config
+}
+
+// analyze streams the trace's operations through the sharded pipeline,
+// feeding every analyzer in one pass.
+func (tr *Trace) analyze(analyzers ...pipeline.Analyzer) {
+	pipeline.RunSlice(tr.Pipeline, tr.Ops, analyzers...)
 }
 
 // Scale selects the simulated population size. The real systems were
