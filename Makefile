@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: help build test race bench vet fmt-check check
+.PHONY: help build test race bench fuzz cover vet fmt-check check
 
 help: ## list targets
 	@grep -E '^[a-z-]+:.*##' $(MAKEFILE_LIST) | awk -F':.*## ' '{printf "  %-10s %s\n", $$1, $$2}'
@@ -14,9 +14,19 @@ test: ## run the full test suite
 race: ## run the full test suite under the race detector
 	$(GO) test -race ./...
 
-bench: ## run the pipeline scaling and analysis benchmarks
+bench: ## run the pipeline scaling, ingest, and analysis benchmarks
 	$(GO) test -run xxx -bench 'BenchmarkPipelineWorkers' -benchmem .
 	$(GO) test -run xxx -bench . -benchmem ./internal/pipeline
+	$(GO) test -run xxx -bench 'BenchmarkIngest' -benchmem ./internal/core
+
+fuzz: ## run each native fuzz target for 10s
+	$(GO) test -run xxx -fuzz FuzzTextRecord -fuzztime 10s ./internal/core
+	$(GO) test -run xxx -fuzz FuzzBinaryRoundTrip -fuzztime 10s ./internal/core
+	$(GO) test -run xxx -fuzz FuzzIngestEquivalence -fuzztime 10s ./internal/core
+
+cover: ## run the suite with coverage and print the summary
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -n 1
 
 vet: ## go vet every package
 	$(GO) vet ./...

@@ -1,10 +1,15 @@
-// nfsanalyze runs one of the paper's analyses over a trace file (text
-// or binary format, auto-detected).
+// nfsanalyze runs one of the paper's analyses over a trace set: one or
+// more trace files (text or binary format, gzip-transparent, all
+// auto-detected), given as -i and/or positional arguments that may be
+// files, glob patterns, or directories. Multiple files are k-way
+// merged by timestamp, so a multi-day capture split into daily files
+// analyzes in one run.
 //
-// Records stream through the sharded pipeline: calls and replies are
-// joined incrementally and the analysis reducers run across -workers
-// shards. Memory depends on the reducer, not the record count: summary
-// and hierarchy hold constant-size state, blocklife holds live-block
+// Records stream through the sharded pipeline: each file is decoded by
+// -decoders parallel goroutines, calls and replies are joined
+// incrementally, and the analysis reducers run across -workers shards.
+// Memory depends on the reducer, not the record count: summary and
+// hierarchy hold constant-size state, blocklife holds live-block
 // state, while runs and reorder accumulate one entry per data access
 // (run detection needs each file's full access list). The hourly and
 // names analyses need the whole trace (the hour-bucket span and the
@@ -16,14 +21,13 @@
 //	nfsanalyze -i campus.trace -analysis summary
 //	nfsanalyze -i campus.trace -analysis runs -window 10
 //	nfsanalyze -i campus.trace -analysis blocklife -start 118800 -phase 86400 -margin 86400
-//	nfsanalyze -i campus.trace -analysis hourly
-//	nfsanalyze -i campus.trace -analysis names
-//	nfsanalyze -i campus.trace -analysis hierarchy
-//	nfsanalyze -i campus.trace -analysis reorder
-//	nfsanalyze -i campus.trace -analysis summary -workers 8
+//	nfsanalyze -analysis summary 'week/day*.trace.gz'
+//	nfsanalyze -analysis hourly traces/
+//	nfsanalyze -i campus.trace -analysis summary -workers 8 -decoders 4
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -36,126 +40,186 @@ import (
 )
 
 func main() {
-	in := flag.String("i", "", "input trace (default stdin)")
-	kind := flag.String("analysis", "summary",
-		"analysis: summary, runs, blocklife, hourly, names, hierarchy, reorder")
-	window := flag.Float64("window", 10, "reorder window in ms (runs)")
-	jump := flag.Int64("k", 10, "jump tolerance in blocks (runs)")
-	start := flag.Float64("start", 0, "blocklife phase-1 start (seconds)")
-	phase := flag.Float64("phase", workload.Day, "blocklife phase-1 length (seconds)")
-	margin := flag.Float64("margin", workload.Day, "blocklife end margin (seconds)")
-	workers := flag.Int("workers", 0, "pipeline shard count (0 = one per CPU)")
-	flag.Parse()
-
-	var r io.Reader = os.Stdin
-	if *in != "" {
-		f, err := os.Open(*in)
-		if err != nil {
-			fatal(err)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err != errUsage {
+			fmt.Fprintln(os.Stderr, "nfsanalyze:", err)
 		}
-		defer f.Close()
-		r = f
+		os.Exit(1)
 	}
-	src, err := core.DetectSource(r)
-	if err != nil {
-		fatal(err)
+}
+
+// errUsage signals a flag-parse failure the FlagSet already reported
+// to stderr, so main exits nonzero without printing it again.
+var errUsage = errors.New("usage")
+
+// run is main's logic behind injectable streams, so the cmd tree is
+// testable end to end.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("nfsanalyze", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("i", "", "input trace (default stdin; positional args add files, globs, directories)")
+	kind := fs.String("analysis", "summary",
+		"analysis: summary, runs, blocklife, hourly, names, hierarchy, reorder")
+	window := fs.Float64("window", 10, "reorder window in ms (runs)")
+	jump := fs.Int64("k", 10, "jump tolerance in blocks (runs)")
+	start := fs.Float64("start", 0, "blocklife phase-1 start (seconds)")
+	phase := fs.Float64("phase", workload.Day, "blocklife phase-1 length (seconds)")
+	margin := fs.Float64("margin", workload.Day, "blocklife end margin (seconds)")
+	workers := fs.Int("workers", 0, "pipeline shard count (0 = one per CPU)")
+	decoders := fs.Int("decoders", 0, "parallel decode goroutines per input file (0 = one per CPU)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return errUsage
+	}
+
+	icfg := core.IngestConfig{Decoders: *decoders}
+	inputs := fs.Args()
+	if *in != "" {
+		inputs = append([]string{*in}, inputs...)
+	}
+	var src core.RecordSource
+	var set *pipeline.TraceSet
+	if len(inputs) == 0 {
+		pr, err := core.NewParallelReader(os.Stdin, icfg)
+		if err != nil {
+			return err
+		}
+		defer pr.Stop()
+		src = pr
+	} else {
+		paths, err := pipeline.ExpandInputs(inputs)
+		if err != nil {
+			return err
+		}
+		set, err = pipeline.OpenTraceSet(paths, icfg)
+		if err != nil {
+			return err
+		}
+		defer set.Close()
+		src = set
 	}
 	cfg := pipeline.Config{Workers: *workers}
 
 	switch *kind {
 	case "summary":
 		sum := &pipeline.SummaryAnalyzer{}
-		join, stats := stream(cfg, src, sum)
+		join, stats, err := stream(cfg, src, sum)
+		if err != nil {
+			return err
+		}
 		days := stats.Span() / workload.Day
 		if days <= 0 {
 			days = 1.0 / 24
 		}
 		sum.Result.Days = days
-		fmt.Println(sum.Result)
-		fmt.Printf("join: %d calls, %d replies, %d unmatched calls, %d orphan replies (loss est %.2f%%)\n",
+		fmt.Fprintln(stdout, sum.Result)
+		fmt.Fprintf(stdout, "join: %d calls, %d replies, %d unmatched calls, %d orphan replies (loss est %.2f%%)\n",
 			join.Calls, join.Replies, join.UnmatchedCalls, join.OrphanReplies, 100*join.LossEstimate())
 	case "runs":
 		ra := &pipeline.RunsAnalyzer{Config: analysis.RunConfig{
 			ReorderWindow: *window / 1000, IdleGap: 30, JumpBlocks: *jump}}
-		stream(cfg, src, ra)
+		if _, _, err := stream(cfg, src, ra); err != nil {
+			return err
+		}
 		tab := ra.Table()
-		fmt.Printf("runs=%d window=%.0fms k=%d\n", tab.TotalRuns, *window, *jump)
-		fmt.Printf("reads  %5.1f%% of runs: entire %5.1f%% seq %5.1f%% random %5.1f%%\n",
+		fmt.Fprintf(stdout, "runs=%d window=%.0fms k=%d\n", tab.TotalRuns, *window, *jump)
+		fmt.Fprintf(stdout, "reads  %5.1f%% of runs: entire %5.1f%% seq %5.1f%% random %5.1f%%\n",
 			tab.ReadPct, tab.Read[0], tab.Read[1], tab.Read[2])
-		fmt.Printf("writes %5.1f%% of runs: entire %5.1f%% seq %5.1f%% random %5.1f%%\n",
+		fmt.Fprintf(stdout, "writes %5.1f%% of runs: entire %5.1f%% seq %5.1f%% random %5.1f%%\n",
 			tab.WritePct, tab.Write[0], tab.Write[1], tab.Write[2])
-		fmt.Printf("r-w    %5.1f%% of runs: entire %5.1f%% seq %5.1f%% random %5.1f%%\n",
+		fmt.Fprintf(stdout, "r-w    %5.1f%% of runs: entire %5.1f%% seq %5.1f%% random %5.1f%%\n",
 			tab.ReadWritePct, tab.ReadWrite[0], tab.ReadWrite[1], tab.ReadWrite[2])
 	case "blocklife":
 		bl := &pipeline.BlockLifeAnalyzer{Start: *start, Phase: *phase, Margin: *margin}
-		stream(cfg, src, bl)
+		if _, _, err := stream(cfg, src, bl); err != nil {
+			return err
+		}
 		res := bl.Result
-		fmt.Printf("births=%d (writes %.1f%%, extension %.1f%%)\n",
+		fmt.Fprintf(stdout, "births=%d (writes %.1f%%, extension %.1f%%)\n",
 			res.Births, res.BirthPct(analysis.BirthWrite), res.BirthPct(analysis.BirthExtension))
-		fmt.Printf("deaths=%d (overwrite %.1f%%, truncate %.1f%%, delete %.1f%%)\n",
+		fmt.Fprintf(stdout, "deaths=%d (overwrite %.1f%%, truncate %.1f%%, delete %.1f%%)\n",
 			res.Deaths, res.DeathPct(analysis.DeathOverwrite),
 			res.DeathPct(analysis.DeathTruncate), res.DeathPct(analysis.DeathDelete))
-		fmt.Printf("end surplus %.1f%%; lifetime p50=%.1fs p90=%.1fs\n",
+		fmt.Fprintf(stdout, "end surplus %.1f%%; lifetime p50=%.1fs p90=%.1fs\n",
 			res.EndSurplusPct(), res.Lifetimes.Percentile(50), res.Lifetimes.Percentile(90))
 	case "hierarchy":
 		hier := &pipeline.HierarchyAnalyzer{Warmup: 600}
-		stream(cfg, src, hier)
-		fmt.Printf("hierarchy coverage after 10min warmup: %.2f%%\n", 100*hier.Coverage)
+		if _, _, err := stream(cfg, src, hier); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "hierarchy coverage after 10min warmup: %.2f%%\n", 100*hier.Coverage)
 	case "reorder":
 		sweep := &pipeline.ReorderSweepAnalyzer{WindowsMS: []float64{0, 1, 2, 5, 10, 20, 50}}
-		stream(cfg, src, sweep)
+		if _, _, err := stream(cfg, src, sweep); err != nil {
+			return err
+		}
 		for _, p := range sweep.Result {
-			fmt.Printf("window %5.0fms: %.2f%% swapped\n", p.WindowMS, p.SwappedPct)
+			fmt.Fprintf(stdout, "window %5.0fms: %.2f%% swapped\n", p.WindowMS, p.SwappedPct)
 		}
 	case "hourly":
-		ops, span := materialize(src)
+		ops, span, err := materialize(src)
+		if err != nil {
+			return err
+		}
 		h := analysis.Hourly(ops, span)
 		for _, peak := range []bool{false, true} {
 			label := "all hours"
 			if peak {
 				label = "peak hours"
 			}
-			fmt.Printf("%s:\n", label)
+			fmt.Fprintf(stdout, "%s:\n", label)
 			for _, row := range h.VarianceTable(peak) {
-				fmt.Printf("  %-20s mean=%12.0f stddev=%5.0f%%\n", row.Name, row.Mean, 100*row.RelStddev)
+				fmt.Fprintf(stdout, "  %-20s mean=%12.0f stddev=%5.0f%%\n", row.Name, row.Mean, 100*row.RelStddev)
 			}
 		}
 	case "names":
-		ops, _ := materialize(src)
+		ops, _, err := materialize(src)
+		if err != nil {
+			return err
+		}
 		rep := analysis.AnalyzeNames(ops, ops[len(ops)-1].T)
 		for _, cs := range rep.PerCategory {
 			if cs.Created == 0 {
 				continue
 			}
-			fmt.Printf("%-10s created=%6d deleted=%6d life_p50=%8.2fs size_p98=%10.0fB\n",
+			fmt.Fprintf(stdout, "%-10s created=%6d deleted=%6d life_p50=%8.2fs size_p98=%10.0fB\n",
 				cs.Category, cs.Created, cs.Deleted,
 				cs.Lifetimes.Percentile(50), cs.Sizes.Percentile(98))
 		}
-		fmt.Printf("locks %.1f%% of created-and-deleted; size prediction %.0f%%, lifetime prediction %.0f%%\n",
+		fmt.Fprintf(stdout, "locks %.1f%% of created-and-deleted; size prediction %.0f%%, lifetime prediction %.0f%%\n",
 			100*rep.LockFracOfDeleted, 100*rep.SizeAccuracy, 100*rep.LifeAccuracy)
 	default:
-		fatal(fmt.Errorf("unknown analysis %q", *kind))
+		return fmt.Errorf("unknown analysis %q", *kind)
 	}
+
+	if set != nil && len(set.Stats()) > 1 {
+		for _, st := range set.Stats() {
+			fmt.Fprintf(stderr, "nfsanalyze: %s: %d records\n", st.Path, st.Records)
+		}
+	}
+	return nil
 }
 
 // stream joins the record source incrementally and runs the analyzers
-// across the pipeline's shards, exiting on error or an empty trace. It
-// returns the join and stream statistics for span-dependent fix-ups.
-func stream(cfg pipeline.Config, src core.RecordSource, analyzers ...pipeline.Analyzer) (core.JoinStats, pipeline.Stats) {
+// across the pipeline's shards. It returns the join and stream
+// statistics for span-dependent fix-ups.
+func stream(cfg pipeline.Config, src core.RecordSource, analyzers ...pipeline.Analyzer) (core.JoinStats, pipeline.Stats, error) {
 	j := pipeline.NewJoiner(src)
 	stats, err := pipeline.Run(cfg, j, analyzers...)
 	if err != nil {
-		fatal(err)
+		return core.JoinStats{}, stats, err
 	}
 	if stats.Ops == 0 {
-		fatal(fmt.Errorf("no operations in trace"))
+		return core.JoinStats{}, stats, fmt.Errorf("no operations in trace")
 	}
-	return j.Stats(), stats
+	return j.Stats(), stats, nil
 }
 
 // materialize drains the source into a joined op slice for the
 // analyses that need the whole trace up front.
-func materialize(src core.RecordSource) ([]*core.Op, float64) {
+func materialize(src core.RecordSource) ([]*core.Op, float64, error) {
 	var records []*core.Record
 	for {
 		rec, err := src.Next()
@@ -163,18 +227,13 @@ func materialize(src core.RecordSource) ([]*core.Op, float64) {
 			break
 		}
 		if err != nil {
-			fatal(err)
+			return nil, 0, err
 		}
 		records = append(records, rec)
 	}
 	ops, _ := core.Join(records)
 	if len(ops) == 0 {
-		fatal(fmt.Errorf("no operations in trace"))
+		return nil, 0, fmt.Errorf("no operations in trace")
 	}
-	return ops, ops[len(ops)-1].T - ops[0].T
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "nfsanalyze:", err)
-	os.Exit(1)
+	return ops, ops[len(ops)-1].T - ops[0].T, nil
 }

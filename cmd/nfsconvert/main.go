@@ -1,87 +1,101 @@
-// nfsconvert converts and merges trace files. Inputs may be in the text
-// or binary format (auto-detected) and are k-way merged by timestamp —
-// the CAMPUS deployment captured one trace per virtual disk array, and
-// cross-array analyses need them interleaved.
+// nfsconvert converts and merges trace files. Inputs may be files,
+// glob patterns, or directories; each file may be in the text or
+// binary format (auto-detected, gzip-transparent) and is decoded by a
+// pool of -decoders goroutines. All inputs are k-way merged by
+// timestamp — the CAMPUS deployment captured one trace per virtual
+// disk array, and cross-array analyses need them interleaved.
 //
 // Usage:
 //
 //	nfsconvert -o merged.trace array1.trace array2.trace ...
+//	nfsconvert -o week.trace 'arrays/*.btrace.gz'
 //	nfsconvert -binary -o week.btrace week.trace      # text -> binary
 //	nfsconvert -o week.trace week.btrace              # binary -> text
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/pipeline"
 )
 
 func main() {
-	out := flag.String("o", "", "output file (default stdout)")
-	asBinary := flag.Bool("binary", false, "write the compact binary format")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err != errUsage {
+			fmt.Fprintln(os.Stderr, "nfsconvert:", err)
+		}
+		os.Exit(1)
+	}
+}
 
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "nfsconvert: no input files")
-		os.Exit(2)
+// errUsage signals a flag-parse failure the FlagSet already reported
+// to stderr, so main exits nonzero without printing it again.
+var errUsage = errors.New("usage")
+
+// run is main's logic behind injectable streams, so the cmd tree is
+// testable end to end.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("nfsconvert", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "output file (default stdout)")
+	asBinary := fs.Bool("binary", false, "write the compact binary format")
+	decoders := fs.Int("decoders", 0, "parallel decode goroutines per input file (0 = one per CPU)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return errUsage
+	}
+	if fs.NArg() == 0 {
+		return errors.New("no input files")
 	}
 
-	var sources []core.RecordSource
-	var files []*os.File
-	for _, path := range flag.Args() {
-		f, err := os.Open(path)
-		if err != nil {
-			fatal(err)
-		}
-		files = append(files, f)
-		src, err := core.DetectSource(f)
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", path, err))
-		}
-		sources = append(sources, src)
+	paths, err := pipeline.ExpandInputs(fs.Args())
+	if err != nil {
+		return err
 	}
-	defer func() {
-		for _, f := range files {
-			f.Close()
-		}
-	}()
+	set, err := pipeline.OpenTraceSet(paths, core.IngestConfig{Decoders: *decoders})
+	if err != nil {
+		return err
+	}
+	defer set.Close()
 
-	w := os.Stdout
+	var w io.Writer = stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		w = f
 	}
 	tw := core.NewFormatWriter(w, *asBinary)
 
-	merger := core.NewMerger(sources...)
 	var n int64
 	for {
-		rec, err := merger.Next()
+		rec, err := set.Next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := tw.Write(rec); err != nil {
-			fatal(err)
+			return err
 		}
 		n++
 	}
 	if err := tw.Flush(); err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "nfsconvert: merged %d inputs into %d records\n", flag.NArg(), n)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "nfsconvert:", err)
-	os.Exit(1)
+	for _, st := range set.Stats() {
+		fmt.Fprintf(stderr, "nfsconvert: %s: %d records\n", st.Path, st.Records)
+	}
+	fmt.Fprintf(stderr, "nfsconvert: merged %d inputs into %d records\n", len(paths), n)
+	return nil
 }

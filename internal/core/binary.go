@@ -28,6 +28,10 @@ var binaryMagic = [8]byte{'N', 'F', 'S', 'T', 'R', 'C', 0, 1}
 // ErrBadTraceMagic reports a stream that is not a binary trace.
 var ErrBadTraceMagic = errors.New("core: not a binary trace file")
 
+// maxBinaryRecord caps one encoded record; anything larger is a
+// corrupt length prefix, not a record.
+const maxBinaryRecord = 1 << 20
+
 // Field presence bits.
 const (
 	bfFH uint32 = 1 << iota
@@ -258,11 +262,14 @@ func (br *BinaryReader) Next() (*Record, error) {
 	recLen, err := binary.ReadUvarint(br.r)
 	if err != nil {
 		if err == io.ErrUnexpectedEOF {
-			return nil, io.EOF
+			// A partial varint is a truncated trace, not a clean end:
+			// surfacing it (rather than a silent EOF) is what lets a
+			// damaged archive be noticed instead of under-counted.
+			return nil, fmt.Errorf("core: truncated binary record length: %w", err)
 		}
 		return nil, err
 	}
-	if recLen > 1<<20 {
+	if recLen > maxBinaryRecord {
 		return nil, fmt.Errorf("core: implausible binary record of %d bytes", recLen)
 	}
 	if cap(br.buf) < int(recLen) {
@@ -272,7 +279,7 @@ func (br *BinaryReader) Next() (*Record, error) {
 	if _, err := io.ReadFull(br.r, br.buf); err != nil {
 		return nil, fmt.Errorf("core: truncated binary record: %w", err)
 	}
-	return br.decode(br.buf)
+	return decodeRecord(br.buf, &br.lastUsec)
 }
 
 type byteCursor struct {
@@ -311,7 +318,25 @@ func (c *byteCursor) byte() (byte, error) {
 	return v, nil
 }
 
-func (br *BinaryReader) decode(buf []byte) (*Record, error) {
+// recordTimeDelta reads just the presence bitmap and zigzag time delta
+// that lead every record payload. The splitter uses it to carry an
+// absolute-time base into each batch so batches decode independently.
+func recordTimeDelta(payload []byte) (int64, error) {
+	c := &byteCursor{b: payload}
+	if _, err := c.uvarint(); err != nil {
+		return 0, err
+	}
+	zz, err := c.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	return int64(zz>>1) ^ -int64(zz&1), nil
+}
+
+// decodeRecord decodes one record payload. lastUsec carries the
+// absolute time of the previous record (the format stores deltas) and
+// is advanced to this record's time.
+func decodeRecord(buf []byte, lastUsec *int64) (*Record, error) {
 	c := &byteCursor{b: buf}
 	bits64, err := c.uvarint()
 	if err != nil {
@@ -323,10 +348,10 @@ func (br *BinaryReader) decode(buf []byte) (*Record, error) {
 		return nil, err
 	}
 	delta := int64(zz>>1) ^ -int64(zz&1)
-	br.lastUsec += delta
+	*lastUsec += delta
 
 	var r Record
-	r.Time = float64(br.lastUsec) / 1e6
+	r.Time = float64(*lastUsec) / 1e6
 	if r.Kind, err = c.byte(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// benchIngest drains one full pass over data through either front end
+// and reports bytes/sec of trace input.
+func benchIngest(b *testing.B, data []byte, open func(io.Reader) (RecordSource, error)) {
+	b.Helper()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		src, err := open(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			_, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkIngestText(b *testing.B) {
+	data := noisyText(ingestRecords(100000))
+	b.Run("serial", func(b *testing.B) {
+		benchIngest(b, data, func(r io.Reader) (RecordSource, error) { return NewReader(r), nil })
+	})
+	for _, decoders := range []int{1, 2, 4} {
+		b.Run(benchName("decoders", decoders), func(b *testing.B) {
+			benchIngest(b, data, func(r io.Reader) (RecordSource, error) {
+				return NewParallelReader(r, IngestConfig{Decoders: decoders})
+			})
+		})
+	}
+}
+
+func BenchmarkIngestBinary(b *testing.B) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	for _, r := range ingestRecords(100000) {
+		if err := w.Write(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	w.Flush()
+	data := buf.Bytes()
+	b.Run("serial", func(b *testing.B) {
+		benchIngest(b, data, func(r io.Reader) (RecordSource, error) { return NewBinaryReader(r), nil })
+	})
+	for _, decoders := range []int{1, 2, 4} {
+		b.Run(benchName("decoders", decoders), func(b *testing.B) {
+			benchIngest(b, data, func(r io.Reader) (RecordSource, error) {
+				return NewParallelReader(r, IngestConfig{Decoders: decoders})
+			})
+		})
+	}
+}
+
+func benchName(prefix string, n int) string {
+	return prefix + "-" + string(rune('0'+n))
+}

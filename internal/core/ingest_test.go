@@ -1,0 +1,383 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// ingestRecords builds a time-ordered record stream with the mix of
+// shapes real traces have.
+func ingestRecords(n int) []*Record {
+	rng := rand.New(rand.NewSource(41))
+	var records []*Record
+	tm := 1000.0
+	for i := 0; i < n; i++ {
+		tm += rng.Float64() * 0.01
+		records = append(records, randomRecord(rng, tm))
+	}
+	return records
+}
+
+// noisyText renders records as a text trace with comments and blank
+// lines sprinkled in, as archived traces have.
+func noisyText(records []*Record) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("# trace header\n")
+	for i, r := range records {
+		if i%97 == 0 {
+			buf.WriteString("\n# checkpoint\n")
+		}
+		buf.WriteString(r.Marshal())
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+func binaryTrace(t *testing.T, records []*Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	for _, r := range records {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func gzipBytes(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// drain reads a source to its terminal error (io.EOF reported as nil).
+func drain(src RecordSource) ([]*Record, error) {
+	var out []*Record
+	for {
+		rec, err := src.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// requireSameStream asserts two ingest paths produced identical
+// records and identical terminal errors.
+func requireSameStream(t *testing.T, label string, wantRecs, gotRecs []*Record, wantErr, gotErr error) {
+	t.Helper()
+	if (wantErr == nil) != (gotErr == nil) || (wantErr != nil && wantErr.Error() != gotErr.Error()) {
+		t.Fatalf("%s: error %v vs serial %v", label, gotErr, wantErr)
+	}
+	if len(gotRecs) != len(wantRecs) {
+		t.Fatalf("%s: %d records vs serial %d", label, len(gotRecs), len(wantRecs))
+	}
+	for i := range wantRecs {
+		if *gotRecs[i] != *wantRecs[i] {
+			t.Fatalf("%s: record %d:\n got %+v\nwant %+v", label, i, gotRecs[i], wantRecs[i])
+		}
+	}
+}
+
+func TestParallelTextMatchesSerial(t *testing.T) {
+	data := noisyText(ingestRecords(5000))
+	want, wantErr := drain(NewReader(bytes.NewReader(data)))
+	if wantErr != nil {
+		t.Fatal(wantErr)
+	}
+	for _, decoders := range []int{1, 2, 8} {
+		for _, batchBytes := range []int{512, 64 << 10, 1 << 22} {
+			label := fmt.Sprintf("decoders=%d batch=%d", decoders, batchBytes)
+			pr, err := NewParallelReader(bytes.NewReader(data),
+				IngestConfig{Decoders: decoders, BatchBytes: batchBytes})
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			got, gotErr := drain(pr)
+			requireSameStream(t, label, want, got, nil, gotErr)
+		}
+	}
+}
+
+func TestParallelBinaryMatchesSerial(t *testing.T) {
+	records := ingestRecords(3000)
+	// Backwards time steps exercise the zigzag delta chain across
+	// batch boundaries.
+	records[100].Time = records[99].Time - 0.004
+	records[2000].Time = records[1999].Time - 1.5
+	data := binaryTrace(t, records)
+	want, wantErr := drain(NewBinaryReader(bytes.NewReader(data)))
+	if wantErr != nil {
+		t.Fatal(wantErr)
+	}
+	for _, decoders := range []int{1, 2, 8} {
+		for _, batchRecords := range []int{1, 7, 512} {
+			label := fmt.Sprintf("decoders=%d batch=%d", decoders, batchRecords)
+			pr, err := NewParallelReader(bytes.NewReader(data),
+				IngestConfig{Decoders: decoders, BatchRecords: batchRecords})
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			got, gotErr := drain(pr)
+			requireSameStream(t, label, want, got, nil, gotErr)
+		}
+	}
+}
+
+func TestParallelGzipTransparent(t *testing.T) {
+	records := ingestRecords(800)
+	text := noisyText(records)
+	bin := binaryTrace(t, records)
+	want, _ := drain(NewReader(bytes.NewReader(text)))
+	wantBin, _ := drain(NewBinaryReader(bytes.NewReader(bin)))
+
+	for _, tc := range []struct {
+		name string
+		data []byte
+		want []*Record
+	}{
+		{"text.gz", gzipBytes(t, text), want},
+		{"binary.gz", gzipBytes(t, bin), wantBin},
+	} {
+		pr, err := NewParallelReader(bytes.NewReader(tc.data), IngestConfig{Decoders: 3, BatchBytes: 4096, BatchRecords: 64})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		got, gotErr := drain(pr)
+		requireSameStream(t, "parallel "+tc.name, tc.want, got, nil, gotErr)
+
+		src, err := DetectSource(bytes.NewReader(tc.data))
+		if err != nil {
+			t.Fatalf("DetectSource %s: %v", tc.name, err)
+		}
+		got, gotErr = drain(src)
+		requireSameStream(t, "DetectSource "+tc.name, tc.want, got, nil, gotErr)
+	}
+}
+
+func TestParallelTextErrorMatchesSerial(t *testing.T) {
+	records := ingestRecords(1000)
+	var buf bytes.Buffer
+	for i, r := range records {
+		if i == 700 {
+			buf.WriteString("1.0 C this line is garbage\n")
+		}
+		buf.WriteString(r.Marshal())
+		buf.WriteByte('\n')
+	}
+	data := buf.Bytes()
+	want, wantErr := drain(NewReader(bytes.NewReader(data)))
+	if wantErr == nil {
+		t.Fatal("serial reader accepted the garbage line")
+	}
+	if len(want) != 700 {
+		t.Fatalf("serial stopped after %d records", len(want))
+	}
+	for _, decoders := range []int{1, 4} {
+		pr, err := NewParallelReader(bytes.NewReader(data), IngestConfig{Decoders: decoders, BatchBytes: 997})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotErr := drain(pr)
+		requireSameStream(t, fmt.Sprintf("decoders=%d", decoders), want, got, wantErr, gotErr)
+		// The error is sticky.
+		if _, err := pr.Next(); err == nil || err.Error() != wantErr.Error() {
+			t.Fatalf("error not sticky: %v", err)
+		}
+	}
+}
+
+func TestParallelBinaryTruncationErrors(t *testing.T) {
+	records := ingestRecords(50)
+	data := binaryTrace(t, records)
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		// Payload cut mid-record.
+		{"payload", data[:len(data)-3]},
+		// A dangling varint continuation byte where the next record
+		// length should be: must error, not silently stop.
+		{"length varint", append(append([]byte{}, data...), 0x80)},
+	}
+	for _, tc := range cases {
+		want, wantErr := drain(NewBinaryReader(bytes.NewReader(tc.data)))
+		if wantErr == nil {
+			t.Fatalf("%s: serial reader silently accepted truncation", tc.name)
+		}
+		pr, err := NewParallelReader(bytes.NewReader(tc.data), IngestConfig{Decoders: 2, BatchRecords: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotErr := drain(pr)
+		requireSameStream(t, tc.name, want, got, wantErr, gotErr)
+	}
+}
+
+// TestBinaryTruncatedLengthSurfaces is the regression test for the
+// silent-EOF bug: a stream ending inside a record-length varint used
+// to be reported as a clean end of trace.
+func TestBinaryTruncatedLengthSurfaces(t *testing.T) {
+	data := binaryTrace(t, ingestRecords(2))
+	data = append(data, 0x83) // partial varint: promises more bytes
+	br := NewBinaryReader(bytes.NewReader(data))
+	var err error
+	for i := 0; i < 3; i++ {
+		if _, err = br.Next(); err != nil {
+			break
+		}
+	}
+	if err == nil || err == io.EOF {
+		t.Fatalf("truncated length varint reported as %v, want an error", err)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want ErrUnexpectedEOF wrap", err)
+	}
+}
+
+// errAfter yields data and then a non-EOF error, simulating a failing
+// disk or pipe.
+type errAfter struct {
+	r   io.Reader
+	err error
+}
+
+func (e *errAfter) Read(p []byte) (int, error) {
+	n, err := e.r.Read(p)
+	if err == io.EOF {
+		return n, e.err
+	}
+	return n, err
+}
+
+// TestReaderSurfacesScannerErrors pins the serial Reader's error
+// behavior: token-too-long and underlying read errors must surface,
+// never read as a clean EOF.
+func TestReaderSurfacesScannerErrors(t *testing.T) {
+	good := ingestRecords(3)
+	t.Run("token too long midstream", func(t *testing.T) {
+		var buf bytes.Buffer
+		for _, r := range good {
+			buf.WriteString(r.Marshal())
+			buf.WriteByte('\n')
+		}
+		buf.WriteString(strings.Repeat("x", 3<<20))
+		buf.WriteString("\n")
+		buf.WriteString(good[0].Marshal())
+		buf.WriteString("\n")
+		got, err := drain(NewReader(bytes.NewReader(buf.Bytes())))
+		if len(got) != 3 {
+			t.Fatalf("read %d records before the long line", len(got))
+		}
+		if !errors.Is(err, bufio.ErrTooLong) {
+			t.Fatalf("err = %v, want bufio.ErrTooLong", err)
+		}
+
+		// The parallel path reports the same failure.
+		pr, perr := NewParallelReader(bytes.NewReader(buf.Bytes()), IngestConfig{Decoders: 2, BatchBytes: 4096})
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		pgot, perr2 := drain(pr)
+		requireSameStream(t, "parallel", got, pgot, err, perr2)
+	})
+	t.Run("scanner buffer boundary", func(t *testing.T) {
+		// A final unterminated line of exactly the scanner's buffer
+		// size fails serially (the scanner has no headroom left to
+		// attempt the read that would report EOF); one byte shorter
+		// parses. The parallel path must agree on both sides of the
+		// edge.
+		for _, n := range []int{maxLineBytes, maxLineBytes - 1} {
+			data := strings.Repeat("x", n)
+			want, wantErr := drain(NewReader(strings.NewReader(data)))
+			pr, err := NewParallelReader(strings.NewReader(data), IngestConfig{Decoders: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, gotErr := drain(pr)
+			requireSameStream(t, fmt.Sprintf("len=%d", n), want, got, wantErr, gotErr)
+		}
+	})
+	t.Run("read error propagates", func(t *testing.T) {
+		boom := errors.New("disk on fire")
+		text := good[0].Marshal() + "\n" + good[1].Marshal() + "\n"
+		got, err := drain(NewReader(&errAfter{r: strings.NewReader(text), err: boom}))
+		if len(got) != 2 {
+			t.Fatalf("read %d records before the failure", len(got))
+		}
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want the read error", err)
+		}
+		pr, perr := NewParallelReader(&errAfter{r: strings.NewReader(text), err: boom}, IngestConfig{Decoders: 2})
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		pgot, perr2 := drain(pr)
+		requireSameStream(t, "parallel", got, pgot, err, perr2)
+	})
+}
+
+func TestParallelReaderStop(t *testing.T) {
+	data := noisyText(ingestRecords(20000))
+	pr, err := NewParallelReader(bytes.NewReader(data), IngestConfig{Decoders: 4, BatchBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := pr.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pr.Stop()
+	pr.Stop() // idempotent
+	// The reader may still drain results that were already queued, but
+	// must terminate rather than hang.
+	for i := 0; i < 1000; i++ {
+		if _, err := pr.Next(); err != nil {
+			return
+		}
+	}
+	t.Fatal("reader kept yielding long after Stop")
+}
+
+func TestParallelEmptyAndTinyInputs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		data string
+	}{
+		{"empty", ""},
+		{"blank", "\n\n"},
+		{"comment only", "# nothing here\n"},
+		{"tiny garbage", "zz"},
+	} {
+		pr, err := NewParallelReader(strings.NewReader(tc.data), IngestConfig{Decoders: 2})
+		if err != nil {
+			t.Fatalf("%s: open: %v", tc.name, err)
+		}
+		want, wantErr := drain(NewReader(strings.NewReader(tc.data)))
+		got, gotErr := drain(pr)
+		requireSameStream(t, tc.name, want, got, wantErr, gotErr)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"compress/gzip"
 	"fmt"
 	"io"
 	"strings"
@@ -110,17 +111,37 @@ func FilterOps(ops []*Op, from, to float64) []*Op {
 	return out
 }
 
-// DetectSource wraps r in the appropriate reader by sniffing the
-// leading bytes: binary traces start with the NFSTRC magic, anything
-// else is treated as the text format.
-func DetectSource(r io.Reader) (RecordSource, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
+// sniffReader wraps r for ingest: gzip-compressed input (archived
+// trace sets are stored compressed) is decompressed transparently, and
+// the leading bytes of the resulting stream are peeked to classify it
+// as the binary format (the NFSTRC magic) or text.
+func sniffReader(r io.Reader) (br *bufio.Reader, binaryFormat bool, err error) {
+	br = bufio.NewReaderSize(r, 1<<16)
+	if head, err := br.Peek(2); err == nil && head[0] == 0x1f && head[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, false, err
+		}
+		br = bufio.NewReaderSize(zr, 1<<16)
+	}
 	head, err := br.Peek(8)
 	if err != nil && len(head) < 8 {
 		// Tiny input: let the text reader produce EOF or errors.
-		return NewReader(br), nil
+		return br, false, nil
 	}
-	if [8]byte(head) == binaryMagic {
+	return br, [8]byte(head) == binaryMagic, nil
+}
+
+// DetectSource wraps r in the appropriate reader by sniffing the
+// leading bytes: gzip input is decompressed transparently, binary
+// traces start with the NFSTRC magic, anything else is treated as the
+// text format.
+func DetectSource(r io.Reader) (RecordSource, error) {
+	br, binaryFormat, err := sniffReader(r)
+	if err != nil {
+		return nil, err
+	}
+	if binaryFormat {
 		return NewBinaryReader(br), nil
 	}
 	return NewReader(br), nil

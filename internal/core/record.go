@@ -81,9 +81,12 @@ func parseIP(s string) (uint32, error) {
 func (r *Record) Marshal() string {
 	var b strings.Builder
 	b.Grow(160)
-	fmt.Fprintf(&b, "%.6f %c %s.%d %s %c %x %d %s",
-		r.Time, r.Kind, ipString(r.Client), r.Port, ipString(r.Server),
-		r.Proto, r.XID, r.Version, r.Proc)
+	// Kind and Proto are single bytes on the wire; %c would UTF-8
+	// encode values ≥ 0x80 into two bytes, which the parser (rightly)
+	// rejects as a multi-byte tag.
+	fmt.Fprintf(&b, "%.6f %s %s.%d %s %s %x %d %s",
+		r.Time, string([]byte{r.Kind}), ipString(r.Client), r.Port, ipString(r.Server),
+		string([]byte{r.Proto}), r.XID, r.Version, r.Proc)
 	kv := func(k, v string) {
 		b.WriteByte(' ')
 		b.WriteString(k)

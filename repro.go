@@ -134,6 +134,17 @@ func GenerateCampusRecords(s Scale) []*core.Record {
 	return sink.Records
 }
 
+// GenerateEECSRecords returns raw (unjoined) EECS records, mirroring
+// GenerateCampusRecords for the anonymizer and trace-file tools.
+func GenerateEECSRecords(s Scale) []*core.Record {
+	sink := &client.SliceSink{}
+	sorter := client.NewSortingSink(sink)
+	gen := workload.NewEECS(workload.DefaultEECSConfig(s.EECSClients, s.Days, s.Seed), sorter)
+	gen.Run()
+	sorter.Flush()
+	return sink.Records
+}
+
 // WriteTrace writes records in the text trace format.
 func WriteTrace(w io.Writer, records []*core.Record) error {
 	return core.WriteAll(w, records)
