@@ -14,10 +14,19 @@ test: ## run the full test suite
 race: ## run the full test suite under the race detector
 	$(GO) test -race ./...
 
-bench: ## run the pipeline scaling, ingest, and analysis benchmarks
-	$(GO) test -run xxx -bench 'BenchmarkPipelineWorkers' -benchmem .
-	$(GO) test -run xxx -bench . -benchmem ./internal/pipeline
-	$(GO) test -run xxx -bench 'BenchmarkIngest' -benchmem ./internal/core
+# BENCH_COUNT > 1 emits benchstat-friendly repeated runs:
+#   make bench BENCH_COUNT=10 > new.txt && benchstat old.txt new.txt
+BENCH_COUNT ?= 5
+
+bench: ## run the pipeline scaling, ingest, and analysis benchmarks (benchstat-friendly)
+	$(GO) test -run xxx -bench 'BenchmarkPipelineWorkers' -benchmem -count $(BENCH_COUNT) .
+	$(GO) test -run xxx -bench . -benchmem -count $(BENCH_COUNT) ./internal/pipeline
+	$(GO) test -run xxx -bench 'BenchmarkIngest|BenchmarkUnmarshalRecordBytes|BenchmarkAppendMarshal|BenchmarkInternFH' -benchmem -count $(BENCH_COUNT) ./internal/core
+
+bench-smoke: ## run the ingest+pipeline benchmarks once (CI regression visibility, not gating)
+	$(GO) test -run xxx -bench 'BenchmarkPipelineWorkers' -benchmem -benchtime 3x .
+	$(GO) test -run xxx -bench . -benchmem -benchtime 3x ./internal/pipeline
+	$(GO) test -run xxx -bench 'BenchmarkIngest|BenchmarkUnmarshalRecordBytes|BenchmarkAppendMarshal|BenchmarkInternFH' -benchmem -benchtime 3x ./internal/core
 
 fuzz: ## run each native fuzz target for 10s
 	$(GO) test -run xxx -fuzz FuzzTextRecord -fuzztime 10s ./internal/core

@@ -32,6 +32,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
@@ -67,11 +69,42 @@ func run(args []string, stdout, stderr io.Writer) error {
 	margin := fs.Float64("margin", workload.Day, "blocklife end margin (seconds)")
 	workers := fs.Int("workers", 0, "pipeline shard count (0 = one per CPU)")
 	decoders := fs.Int("decoders", 0, "parallel decode goroutines per input file (0 = one per CPU)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return nil
 		}
 		return errUsage
+	}
+	// Register the allocation snapshot before the CPU profile starts:
+	// defers run LIFO, so the CPU profile stops before the forced GC
+	// and profile serialization, keeping them out of its samples.
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			// The allocation profile is cumulative, so one snapshot at
+			// exit covers the whole run.
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(stderr, "nfsanalyze: memprofile:", err)
+			}
+			f.Close()
+		}()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	icfg := core.IngestConfig{Decoders: *decoders}

@@ -128,14 +128,22 @@ func TestParallelIngestByteIdenticalTables(t *testing.T) {
 		}
 	}
 
-	// Parallel ingest at several decoder counts, small batches to
-	// force many splits.
+	// Parallel ingest across the full decoder × worker grid, small
+	// batches to force many splits: the rendered tables must be
+	// byte-identical to the serial single-worker reference at every
+	// combination, which pins down both the resequencer and the
+	// ID-keyed reducers (handle intern IDs vary with decode
+	// interleaving; output must not).
 	for _, decoders := range []int{1, 2, 8} {
-		cfg := core.IngestConfig{Decoders: decoders, BatchBytes: 8 << 10}
-		got := renderedExperiments(
-			openSet(t, []string{campusPath}, cfg, "CAMPUS", scale.Days, 10),
-			openSet(t, []string{eecsPath}, cfg, "EECS", scale.Days, 5))
-		compare(fmt.Sprintf("decoders=%d", decoders), got)
+		for _, workers := range []int{1, 2, 8} {
+			cfg := core.IngestConfig{Decoders: decoders, BatchBytes: 8 << 10}
+			campusTr := openSet(t, []string{campusPath}, cfg, "CAMPUS", scale.Days, 10)
+			eecsTr := openSet(t, []string{eecsPath}, cfg, "EECS", scale.Days, 5)
+			campusTr.Pipeline = pipeline.Config{Workers: workers}
+			eecsTr.Pipeline = pipeline.Config{Workers: workers}
+			got := renderedExperiments(campusTr, eecsTr)
+			compare(fmt.Sprintf("decoders=%d workers=%d", decoders, workers), got)
+		}
 	}
 
 	// Multi-file trace set: the campus trace cut at its time midpoint

@@ -69,16 +69,23 @@ func (r *BlockLifeResult) EndSurplusPct() float64 {
 type blockLifeState struct {
 	res BlockLifeResult
 	// births maps fh → block → birth time (Phase 1 births only).
-	births map[string]map[int64]float64
+	births map[core.FH]map[int64]float64
 	// sizes tracks the last known size (in bytes) per fh, from any
 	// attribute-bearing reply.
-	sizes map[string]uint64
+	sizes map[core.FH]uint64
 	// names maps (dirFH, name) → fileFH so REMOVE calls can be tied to
 	// the removed file (§4.1.1 hierarchy information).
-	names map[string]string
+	names map[nameBinding]core.FH
 
 	phase1End float64
 	margin    float64
+}
+
+// nameBinding is one (directory, name) edge, the key the reducers
+// resolve removes and renames through.
+type nameBinding struct {
+	dir  core.FH
+	name string
 }
 
 // BlockLifeStream is the incremental form of BlockLife: feed it
@@ -100,9 +107,9 @@ type BlockLifeStream struct {
 func NewBlockLifeStream(start, phase, margin float64) *BlockLifeStream {
 	s := &BlockLifeStream{
 		st: blockLifeState{
-			births:    make(map[string]map[int64]float64),
-			sizes:     make(map[string]uint64),
-			names:     make(map[string]string),
+			births:    make(map[core.FH]map[int64]float64),
+			sizes:     make(map[core.FH]uint64),
+			names:     make(map[nameBinding]core.FH),
 			phase1End: start + phase,
 			margin:    margin,
 		},
@@ -181,15 +188,15 @@ func BlockLife(ops []*core.Op, start, phase, margin float64) *BlockLifeResult {
 // creates, the same on-the-fly reconstruction the paper uses.
 func (st *blockLifeState) trackNames(op *core.Op) {
 	switch op.Proc {
-	case "lookup", "create", "mkdir":
-		if op.Name != "" && op.NewFH != "" {
-			st.names[op.FH+"\x00"+op.Name] = op.NewFH
+	case core.ProcLookup, core.ProcCreate, core.ProcMkdir:
+		if op.Name != "" && op.NewFH != 0 {
+			st.names[nameBinding{op.FH, op.Name}] = op.NewFH
 		}
-	case "rename":
-		key := op.FH + "\x00" + op.Name
+	case core.ProcRename:
+		key := nameBinding{op.FH, op.Name}
 		if fh, ok := st.names[key]; ok {
 			delete(st.names, key)
-			st.names[op.FH2+"\x00"+op.Name2] = fh
+			st.names[nameBinding{op.FH2, op.Name2}] = fh
 		}
 	}
 }
@@ -200,15 +207,15 @@ func (st *blockLifeState) trackSizes(op *core.Op) {
 		return
 	}
 	switch op.Proc {
-	case "remove":
+	case core.ProcRemove:
 		// handled in handle()
-	case "lookup", "create", "mkdir":
+	case core.ProcLookup, core.ProcCreate, core.ProcMkdir:
 		// The attributes belong to the looked-up/created object.
-		if op.NewFH != "" {
+		if op.NewFH != 0 {
 			st.sizes[op.NewFH] = op.Size
 		}
 	default:
-		if op.Size != 0 || op.Proc == "setattr" || op.Proc == "write" {
+		if op.Size != 0 || op.Proc == core.ProcSetattr || op.Proc == core.ProcWrite {
 			st.sizes[op.FH] = op.Size
 		}
 	}
@@ -221,28 +228,28 @@ func (st *blockLifeState) handle(op *core.Op) {
 		return
 	}
 	switch op.Proc {
-	case "write":
+	case core.ProcWrite:
 		st.handleWrite(op)
-	case "setattr":
+	case core.ProcSetattr:
 		if op.HasSet {
 			st.handleTruncate(op)
 		}
-	case "create":
+	case core.ProcCreate:
 		// CREATE with size 0 truncates an existing file.
-		if op.HasSet && op.SetSize == 0 && op.NewFH != "" {
+		if op.HasSet && op.SetSize == 0 && op.NewFH != 0 {
 			if old, ok := st.sizes[op.NewFH]; ok && old > 0 {
 				st.killRange(op.NewFH, 0, blocksOf(old), op.T, DeathTruncate)
 			}
 		}
-	case "remove":
-		fh, ok := st.names[op.FH+"\x00"+op.Name]
+	case core.ProcRemove:
+		fh, ok := st.names[nameBinding{op.FH, op.Name}]
 		if !ok {
 			return
 		}
 		size := st.sizes[fh]
 		st.killRange(fh, 0, blocksOf(size), op.T, DeathDelete)
 		delete(st.sizes, fh)
-		delete(st.names, op.FH+"\x00"+op.Name)
+		delete(st.names, nameBinding{op.FH, op.Name})
 	}
 }
 
@@ -288,13 +295,13 @@ func (st *blockLifeState) handleTruncate(op *core.Op) {
 	}
 }
 
-func (st *blockLifeState) killRange(fh string, from, to int64, t float64, cause int) {
+func (st *blockLifeState) killRange(fh core.FH, from, to int64, t float64, cause int) {
 	for b := from; b < to; b++ {
 		st.death(fh, b, t, cause)
 	}
 }
 
-func (st *blockLifeState) birth(fh string, b int64, t float64, cause int) {
+func (st *blockLifeState) birth(fh core.FH, b int64, t float64, cause int) {
 	if t >= st.phase1End {
 		return // Phase 2 records deaths only
 	}
@@ -312,7 +319,7 @@ func (st *blockLifeState) birth(fh string, b int64, t float64, cause int) {
 	st.res.BirthCause[cause]++
 }
 
-func (st *blockLifeState) death(fh string, b int64, t float64, cause int) {
+func (st *blockLifeState) death(fh core.FH, b int64, t float64, cause int) {
 	m := st.births[fh]
 	if m == nil {
 		return

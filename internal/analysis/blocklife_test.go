@@ -8,7 +8,7 @@ import (
 
 // wr builds a successful write op with wcc pre-size.
 func wr(t float64, fh string, off uint64, count uint32, preSize, postSize uint64) *core.Op {
-	return &core.Op{T: t, Replied: true, Proc: "write", FH: fh,
+	return &core.Op{T: t, Replied: true, Proc: core.MustProc("write"), FH: core.InternFH(fh),
 		Offset: off, Count: count, RCount: count,
 		PreSize: preSize, HasPre: true, Size: postSize}
 }
@@ -65,7 +65,7 @@ func TestBlockLifeExtensionBirths(t *testing.T) {
 func TestBlockLifeTruncateDeath(t *testing.T) {
 	ops := []*core.Op{
 		wr(1, "f", 0, 32768, 0, 32768), // 4 blocks
-		{T: 10, Replied: true, Proc: "setattr", FH: "f",
+		{T: 10, Replied: true, Proc: core.MustProc("setattr"), FH: core.InternFH("f"),
 			SetSize: 8192, HasSet: true, PreSize: 32768, HasPre: true, Size: 8192},
 	}
 	res := BlockLife(ops, 0, 100, 100)
@@ -76,9 +76,9 @@ func TestBlockLifeTruncateDeath(t *testing.T) {
 
 func TestBlockLifeDeleteDeath(t *testing.T) {
 	ops := []*core.Op{
-		{T: 0.5, Replied: true, Proc: "create", FH: "dir", Name: "tmp", NewFH: "f", Size: 0},
+		{T: 0.5, Replied: true, Proc: core.MustProc("create"), FH: core.InternFH("dir"), Name: "tmp", NewFH: core.InternFH("f"), Size: 0},
 		wr(1, "f", 0, 24576, 0, 24576),
-		{T: 5, Replied: true, Proc: "remove", FH: "dir", Name: "tmp"},
+		{T: 5, Replied: true, Proc: core.MustProc("remove"), FH: core.InternFH("dir"), Name: "tmp"},
 	}
 	res := BlockLife(ops, 0, 100, 100)
 	if res.DeathCause[DeathDelete] != 3 {
@@ -91,10 +91,10 @@ func TestBlockLifeDeleteDeath(t *testing.T) {
 
 func TestBlockLifeRenameTracksName(t *testing.T) {
 	ops := []*core.Op{
-		{T: 0.5, Replied: true, Proc: "create", FH: "dir", Name: "a", NewFH: "f", Size: 0},
+		{T: 0.5, Replied: true, Proc: core.MustProc("create"), FH: core.InternFH("dir"), Name: "a", NewFH: core.InternFH("f"), Size: 0},
 		wr(1, "f", 0, 8192, 0, 8192),
-		{T: 2, Replied: true, Proc: "rename", FH: "dir", Name: "a", FH2: "dir2", Name2: "b"},
-		{T: 3, Replied: true, Proc: "remove", FH: "dir2", Name: "b"},
+		{T: 2, Replied: true, Proc: core.MustProc("rename"), FH: core.InternFH("dir"), Name: "a", FH2: core.InternFH("dir2"), Name2: "b"},
+		{T: 3, Replied: true, Proc: core.MustProc("remove"), FH: core.InternFH("dir2"), Name: "b"},
 	}
 	res := BlockLife(ops, 0, 100, 100)
 	if res.DeathCause[DeathDelete] != 1 {
@@ -131,7 +131,7 @@ func TestBlockLifeMarginDiscardsLongLives(t *testing.T) {
 func TestBlockLifeWindowOffsets(t *testing.T) {
 	// Ops before the window only feed name/size tracking.
 	ops := []*core.Op{
-		{T: 1, Replied: true, Proc: "create", FH: "dir", Name: "x", NewFH: "f", Size: 0},
+		{T: 1, Replied: true, Proc: core.MustProc("create"), FH: core.InternFH("dir"), Name: "x", NewFH: core.InternFH("f"), Size: 0},
 		wr(2, "f", 0, 8192, 0, 8192), // before window: no birth
 		wr(20, "f", 0, 8192, 8192, 8192),
 	}
@@ -148,9 +148,9 @@ func TestBlockLifeWindowOffsets(t *testing.T) {
 
 func TestBlockLifeFailedOpsIgnored(t *testing.T) {
 	ops := []*core.Op{
-		{T: 1, Replied: true, Status: 13, Proc: "write", FH: "f",
+		{T: 1, Replied: true, Status: 13, Proc: core.MustProc("write"), FH: core.InternFH("f"),
 			Offset: 0, Count: 8192, RCount: 0},
-		{T: 2, Replied: false, Proc: "write", FH: "f", Offset: 0, Count: 8192},
+		{T: 2, Replied: false, Proc: core.MustProc("write"), FH: core.InternFH("f"), Offset: 0, Count: 8192},
 	}
 	res := BlockLife(ops, 0, 100, 100)
 	if res.Births != 0 {

@@ -11,9 +11,14 @@ import (
 // after a few minutes of trace, almost every handle's parent is known.
 type Hierarchy struct {
 	// parent maps a file handle to its (parent handle, name) edge.
-	parent map[string]edge
+	parent map[core.FH]nameBinding
+	// byEdge is the reverse index, (dir, name) → most recent child, so
+	// renames and removes resolve in O(1) instead of scanning parent.
+	// Entries can go stale when a child re-binds under another name;
+	// resolve validates against parent before trusting one.
+	byEdge map[nameBinding]core.FH
 	// known tracks handles seen in any position.
-	known map[string]bool
+	known map[core.FH]bool
 
 	// Coverage counters: of the ops naming a primary handle, how many
 	// had that handle already resolvable to a path.
@@ -21,59 +26,84 @@ type Hierarchy struct {
 	total      int64
 }
 
-type edge struct {
-	dir  string
-	name string
-}
-
 // NewHierarchy returns an empty namespace model.
 func NewHierarchy() *Hierarchy {
-	return &Hierarchy{parent: make(map[string]edge), known: make(map[string]bool)}
+	return &Hierarchy{
+		parent: make(map[core.FH]nameBinding),
+		byEdge: make(map[nameBinding]core.FH),
+		known:  make(map[core.FH]bool),
+	}
 }
 
 // Observe feeds one op through the reconstruction, updating edges and
 // coverage statistics. Ops must be fed in trace order.
 func (h *Hierarchy) Observe(op *core.Op) {
 	// Coverage check first: is this op's handle already placeable?
-	if op.FH != "" {
+	if op.FH != 0 {
 		h.total++
 		if h.known[op.FH] {
 			h.resolvable++
 		}
 	}
 	switch op.Proc {
-	case "lookup", "create", "mkdir", "symlink":
-		if op.NewFH != "" && op.Name != "" {
-			h.parent[op.NewFH] = edge{dir: op.FH, name: op.Name}
+	case core.ProcLookup, core.ProcCreate, core.ProcMkdir, core.ProcSymlink:
+		if op.NewFH != 0 && op.Name != "" {
+			e := nameBinding{dir: op.FH, name: op.Name}
+			if old, ok := h.parent[op.NewFH]; ok && old != e && h.byEdge[old] == op.NewFH {
+				// The child re-binds under a new edge; drop the index
+				// entry for the old one so it cannot act on the child.
+				delete(h.byEdge, old)
+			}
+			h.parent[op.NewFH] = e
+			h.byEdge[e] = op.NewFH
 			h.known[op.NewFH] = true
 			h.known[op.FH] = true
 		}
-	case "rename":
-		// Find the moved handle via the old edge if we have it.
-		for fh, e := range h.parent {
-			if e.dir == op.FH && e.name == op.Name {
-				h.parent[fh] = edge{dir: op.FH2, name: op.Name2}
-				break
-			}
+	case core.ProcRename:
+		// Move the child currently bound to the old edge, if we know it.
+		old := nameBinding{dir: op.FH, name: op.Name}
+		if fh, ok := h.resolve(old); ok {
+			next := nameBinding{dir: op.FH2, name: op.Name2}
+			h.parent[fh] = next
+			delete(h.byEdge, old)
+			h.byEdge[next] = fh
 		}
-	case "remove", "rmdir":
-		for fh, e := range h.parent {
-			if e.dir == op.FH && e.name == op.Name {
-				delete(h.parent, fh)
-				break
-			}
+	case core.ProcRemove, core.ProcRmdir:
+		e := nameBinding{dir: op.FH, name: op.Name}
+		if fh, ok := h.resolve(e); ok {
+			delete(h.parent, fh)
+			delete(h.byEdge, e)
 		}
 	default:
-		if op.FH != "" {
+		if op.FH != 0 {
 			h.known[op.FH] = true
 		}
 	}
 }
 
+// resolve returns a child whose current parent edge is e. The reverse
+// index answers in O(1); a stale entry (the indexed child has since
+// re-bound elsewhere) falls back to the scan the index replaces, which
+// also repairs the index. ok is false when no child is bound to e.
+func (h *Hierarchy) resolve(e nameBinding) (core.FH, bool) {
+	if fh, ok := h.byEdge[e]; ok && h.parent[fh] == e {
+		return fh, true
+	}
+	for fh, pe := range h.parent {
+		if pe == e {
+			h.byEdge[e] = fh
+			return fh, true
+		}
+	}
+	delete(h.byEdge, e)
+	return 0, false
+}
+
 // Path reconstructs the name of a handle from known edges, ending at a
-// handle with no known parent (rendered as its hex form). ok is false
-// when fh itself is unknown.
-func (h *Hierarchy) Path(fh string) (string, bool) {
+// handle with no known parent (rendered as its hex form through the
+// intern table's reverse lookup). ok is false when fh itself is
+// unknown.
+func (h *Hierarchy) Path(fh core.FH) (string, bool) {
 	if !h.known[fh] {
 		return "", false
 	}
@@ -87,11 +117,11 @@ func (h *Hierarchy) Path(fh string) (string, bool) {
 		parts = append([]string{e.name}, parts...)
 		cur = e.dir
 	}
-	return "[" + cur + "]/" + strings.Join(parts, "/"), true
+	return "[" + cur.String() + "]/" + strings.Join(parts, "/"), true
 }
 
 // Known reports whether fh has been seen in any position.
-func (h *Hierarchy) Known(fh string) bool { return h.known[fh] }
+func (h *Hierarchy) Known(fh core.FH) bool { return h.known[fh] }
 
 // Coverage reports the fraction of handle-bearing ops whose handle was
 // already known when the op arrived.
@@ -116,7 +146,7 @@ func CoverageAfterWarmup(ops []*core.Op, warmup float64) float64 {
 	h := NewHierarchy()
 	var resolvable, total int64
 	for _, op := range ops {
-		if op.T >= start && op.FH != "" {
+		if op.T >= start && op.FH != 0 {
 			total++
 			if h.known[op.FH] {
 				resolvable++

@@ -18,14 +18,14 @@ func randomOps(seed int64, n int) []*core.Op {
 	t := 0.0
 	for i := 0; i < n; i++ {
 		t += rng.Float64() * 5
-		proc := "read"
+		proc := core.ProcRead
 		if rng.Intn(3) == 0 {
-			proc = "write"
+			proc = core.ProcWrite
 		}
 		count := uint32(1024 + rng.Intn(16384))
 		off := uint64(rng.Intn(512)) * 8192
 		ops = append(ops, &core.Op{
-			T: t, Replied: true, Proc: proc, FH: files[rng.Intn(len(files))],
+			T: t, Replied: true, Proc: proc, FH: core.InternFH(files[rng.Intn(len(files))]),
 			Offset: off, Count: count, RCount: count,
 			Size: off + uint64(count) + uint64(rng.Intn(1<<20)),
 			EOF:  rng.Intn(20) == 0,
@@ -177,15 +177,15 @@ func TestBlockLifeConservation(t *testing.T) {
 				if off+uint64(count) > size[fh] {
 					size[fh] = off + uint64(count)
 				}
-				ops = append(ops, &core.Op{T: tm, Replied: true, Proc: "write",
-					FH: fh, Offset: off, Count: count, RCount: count,
+				ops = append(ops, &core.Op{T: tm, Replied: true, Proc: core.MustProc("write"),
+					FH: core.InternFH(fh), Offset: off, Count: count, RCount: count,
 					PreSize: pre, HasPre: true, Size: size[fh]})
 			case 2: // truncate
 				newSize := uint64(rng.Intn(32)) * 8192
 				pre := size[fh]
 				size[fh] = newSize
-				ops = append(ops, &core.Op{T: tm, Replied: true, Proc: "setattr",
-					FH: fh, SetSize: newSize, HasSet: true,
+				ops = append(ops, &core.Op{T: tm, Replied: true, Proc: core.MustProc("setattr"),
+					FH: core.InternFH(fh), SetSize: newSize, HasSet: true,
 					PreSize: pre, HasPre: true, Size: newSize})
 			}
 		}

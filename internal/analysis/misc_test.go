@@ -8,12 +8,12 @@ import (
 
 func TestSummarize(t *testing.T) {
 	ops := []*core.Op{
-		{Proc: "read", Replied: true, RCount: 8192},
-		{Proc: "read", Replied: true, RCount: 8192},
-		{Proc: "read", Replied: true, RCount: 8192},
-		{Proc: "write", Replied: true, RCount: 4096},
-		{Proc: "getattr", Replied: true},
-		{Proc: "lookup", Replied: true},
+		{Proc: core.MustProc("read"), Replied: true, RCount: 8192},
+		{Proc: core.MustProc("read"), Replied: true, RCount: 8192},
+		{Proc: core.MustProc("read"), Replied: true, RCount: 8192},
+		{Proc: core.MustProc("write"), Replied: true, RCount: 4096},
+		{Proc: core.MustProc("getattr"), Replied: true},
+		{Proc: core.MustProc("lookup"), Replied: true},
 	}
 	s := Summarize(ops, 2)
 	if s.TotalOps != 6 || s.ReadOps != 3 || s.WriteOps != 1 || s.MetadataOps != 2 {
@@ -31,7 +31,7 @@ func TestSummarize(t *testing.T) {
 	if s.MetadataFraction() != 2.0/6 {
 		t.Fatalf("meta frac: %v", s.MetadataFraction())
 	}
-	if s.ProcCounts["read"] != 3 {
+	if s.ProcCounts[core.ProcRead] != 3 {
 		t.Fatalf("proc counts: %v", s.ProcCounts)
 	}
 	if s.String() == "" {
@@ -52,9 +52,9 @@ func TestHourlyAndVariance(t *testing.T) {
 			}
 			for i := 0; i < n; i++ {
 				tt := float64(d)*day + float64(h)*3600 + float64(i)*30
-				ops = append(ops, &core.Op{T: tt, Proc: "read", Replied: true, RCount: 8192})
+				ops = append(ops, &core.Op{T: tt, Proc: core.MustProc("read"), Replied: true, RCount: 8192})
 				if i%3 == 0 {
-					ops = append(ops, &core.Op{T: tt + 1, Proc: "write", Replied: true, RCount: 8192})
+					ops = append(ops, &core.Op{T: tt + 1, Proc: core.MustProc("write"), Replied: true, RCount: 8192})
 				}
 			}
 		}
@@ -121,23 +121,23 @@ func TestAnalyzeNames(t *testing.T) {
 	// 10 locks: created and deleted within 0.2s, zero length.
 	for i := 0; i < 10; i++ {
 		t0 := float64(i) * 10
-		fh := "lock" + string(rune('a'+i))
+		fh := core.InternFH("lock" + string(rune('a'+i)))
 		ops = append(ops,
-			&core.Op{T: t0, Replied: true, Proc: "create", FH: "dir",
+			&core.Op{T: t0, Replied: true, Proc: core.MustProc("create"), FH: core.InternFH("dir"),
 				Name: "inbox.lock", NewFH: fh, Size: 0},
-			&core.Op{T: t0 + 0.2, Replied: true, Proc: "remove", FH: "dir", Name: "inbox.lock"},
+			&core.Op{T: t0 + 0.2, Replied: true, Proc: core.MustProc("remove"), FH: core.InternFH("dir"), Name: "inbox.lock"},
 		)
 	}
 	// One composer file, 4 KB, deleted after 30s.
 	ops = append(ops,
-		&core.Op{T: 200, Replied: true, Proc: "create", FH: "dir", Name: "pico.000001", NewFH: "comp", Size: 0},
-		&core.Op{T: 201, Replied: true, Proc: "write", FH: "comp", Offset: 0, Count: 4096, RCount: 4096, Size: 4096},
-		&core.Op{T: 230, Replied: true, Proc: "remove", FH: "dir", Name: "pico.000001"},
+		&core.Op{T: 200, Replied: true, Proc: core.MustProc("create"), FH: core.InternFH("dir"), Name: "pico.000001", NewFH: core.InternFH("comp"), Size: 0},
+		&core.Op{T: 201, Replied: true, Proc: core.MustProc("write"), FH: core.InternFH("comp"), Offset: 0, Count: 4096, RCount: 4096, Size: 4096},
+		&core.Op{T: 230, Replied: true, Proc: core.MustProc("remove"), FH: core.InternFH("dir"), Name: "pico.000001"},
 	)
 	// A mailbox that lives on.
 	ops = append(ops,
-		&core.Op{T: 300, Replied: true, Proc: "create", FH: "dir", Name: "inbox", NewFH: "mbox", Size: 0},
-		&core.Op{T: 301, Replied: true, Proc: "write", FH: "mbox", Offset: 0, Count: 8192, RCount: 8192, Size: 3 << 20},
+		&core.Op{T: 300, Replied: true, Proc: core.MustProc("create"), FH: core.InternFH("dir"), Name: "inbox", NewFH: core.InternFH("mbox"), Size: 0},
+		&core.Op{T: 301, Replied: true, Proc: core.MustProc("write"), FH: core.InternFH("mbox"), Offset: 0, Count: 8192, RCount: 8192, Size: 3 << 20},
 	)
 	rep := AnalyzeNames(ops, 1000)
 
@@ -182,15 +182,15 @@ func TestTopNames(t *testing.T) {
 func TestHierarchyReconstruction(t *testing.T) {
 	h := NewHierarchy()
 	ops := []*core.Op{
-		{Proc: "lookup", FH: "root", Name: "home", NewFH: "home", Replied: true},
-		{Proc: "lookup", FH: "home", Name: "u1", NewFH: "u1dir", Replied: true},
-		{Proc: "create", FH: "u1dir", Name: "inbox", NewFH: "mbox", Replied: true},
-		{Proc: "read", FH: "mbox", Replied: true},
+		{Proc: core.MustProc("lookup"), FH: core.InternFH("root"), Name: "home", NewFH: core.InternFH("home"), Replied: true},
+		{Proc: core.MustProc("lookup"), FH: core.InternFH("home"), Name: "u1", NewFH: core.InternFH("u1dir"), Replied: true},
+		{Proc: core.MustProc("create"), FH: core.InternFH("u1dir"), Name: "inbox", NewFH: core.InternFH("mbox"), Replied: true},
+		{Proc: core.MustProc("read"), FH: core.InternFH("mbox"), Replied: true},
 	}
 	for _, op := range ops {
 		h.Observe(op)
 	}
-	path, ok := h.Path("mbox")
+	path, ok := h.Path(core.InternFH("mbox"))
 	if !ok || path != "[root]/home/u1/inbox" {
 		t.Fatalf("path = %q ok=%v", path, ok)
 	}
@@ -199,18 +199,48 @@ func TestHierarchyReconstruction(t *testing.T) {
 	}
 
 	// Rename moves the edge.
-	h.Observe(&core.Op{Proc: "rename", FH: "u1dir", Name: "inbox",
-		FH2: "u1dir", Name2: "mbox-old", Replied: true})
-	path, _ = h.Path("mbox")
+	h.Observe(&core.Op{Proc: core.MustProc("rename"), FH: core.InternFH("u1dir"), Name: "inbox",
+		FH2: core.InternFH("u1dir"), Name2: "mbox-old", Replied: true})
+	path, _ = h.Path(core.InternFH("mbox"))
 	if path != "[root]/home/u1/mbox-old" {
 		t.Fatalf("after rename: %q", path)
 	}
 	// Remove drops it.
-	h.Observe(&core.Op{Proc: "remove", FH: "u1dir", Name: "mbox-old", Replied: true})
-	if _, ok := h.Path("mbox"); ok {
-		if p, _ := h.Path("mbox"); p == "[root]/home/u1/mbox-old" {
+	h.Observe(&core.Op{Proc: core.MustProc("remove"), FH: core.InternFH("u1dir"), Name: "mbox-old", Replied: true})
+	if _, ok := h.Path(core.InternFH("mbox")); ok {
+		if p, _ := h.Path(core.InternFH("mbox")); p == "[root]/home/u1/mbox-old" {
 			t.Fatal("edge survived remove")
 		}
+	}
+}
+
+// TestHierarchyRebindStaleIndex: after a child re-binds under a new
+// edge (hard link or re-lookup following an unobserved rename), acting
+// on its old name must not disturb the child's current placement — the
+// reverse index must not trust a stale entry.
+func TestHierarchyRebindStaleIndex(t *testing.T) {
+	h := NewHierarchy()
+	look := func(dir, name, child string) {
+		h.Observe(&core.Op{Proc: core.ProcLookup, Replied: true,
+			FH: core.InternFH(dir), Name: name, NewFH: core.InternFH(child)})
+	}
+	look("d1", "a", "f-rebind")
+	look("d2", "b", "f-rebind") // f re-binds: its current edge is (d2, b)
+	// Removing the stale (d1, a) name must leave f placed under d2.
+	h.Observe(&core.Op{Proc: core.ProcRemove, Replied: true,
+		FH: core.InternFH("d1"), Name: "a"})
+	path, ok := h.Path(core.InternFH("f-rebind"))
+	if !ok || path != "[d2]/b" {
+		t.Fatalf("path after stale remove: %q ok=%v, want [d2]/b", path, ok)
+	}
+	// Renaming via the stale name must not move f either.
+	look("d1", "a", "f-rebind")
+	look("d2", "c", "f-rebind")
+	h.Observe(&core.Op{Proc: core.ProcRename, Replied: true,
+		FH: core.InternFH("d1"), Name: "a",
+		FH2: core.InternFH("d3"), Name2: "z"})
+	if path, _ := h.Path(core.InternFH("f-rebind")); path != "[d2]/c" {
+		t.Fatalf("path after stale rename: %q, want [d2]/c", path)
 	}
 }
 
@@ -220,12 +250,12 @@ func TestHierarchyCoverageGrows(t *testing.T) {
 	var ops []*core.Op
 	for i := 0; i < 50; i++ {
 		fh := "file" + string(rune('A'+i%26)) + string(rune('a'+i/26))
-		ops = append(ops, &core.Op{T: float64(i), Proc: "lookup",
-			FH: "root", Name: "f" + fh, NewFH: fh, Replied: true})
+		ops = append(ops, &core.Op{T: float64(i), Proc: core.MustProc("lookup"),
+			FH: core.InternFH("root"), Name: "f" + fh, NewFH: core.InternFH(fh), Replied: true})
 	}
 	for i := 0; i < 500; i++ {
 		fh := "file" + string(rune('A'+i%26)) + string(rune('a'+(i/26)%2))
-		ops = append(ops, &core.Op{T: 50 + float64(i), Proc: "read", FH: fh, Replied: true})
+		ops = append(ops, &core.Op{T: 50 + float64(i), Proc: core.MustProc("read"), FH: core.InternFH(fh), Replied: true})
 	}
 	cov := CoverageAfterWarmup(ops, 50)
 	if cov < 0.99 {

@@ -140,15 +140,15 @@ func lifeClass(life float64) int {
 // AnalyzeNames builds the §6.3 report from a joined op stream.
 func AnalyzeNames(ops []*core.Op, windowEnd float64) *NameReport {
 	// Track file instances created in the window.
-	lives := make(map[string]*fileLife) // by NewFH
-	names := make(map[string]string)    // (dir,name) → fh
+	lives := make(map[core.FH]*fileLife)   // by NewFH
+	names := make(map[nameBinding]core.FH) // (dir,name) → fh
 	var done []*fileLife
 
-	key := func(dir, name string) string { return dir + "\x00" + name }
+	key := func(dir core.FH, name string) nameBinding { return nameBinding{dir, name} }
 	for _, op := range ops {
 		switch op.Proc {
-		case "create", "mkdir", "symlink":
-			if op.NewFH == "" {
+		case core.ProcCreate, core.ProcMkdir, core.ProcSymlink:
+			if op.NewFH == 0 {
 				continue
 			}
 			// Recreating a name orphans any previous instance.
@@ -159,17 +159,17 @@ func AnalyzeNames(ops []*core.Op, windowEnd float64) *NameReport {
 					born: op.T, maxSize: op.Size, readSeq: true,
 				}
 			}
-		case "lookup":
-			if op.NewFH != "" {
+		case core.ProcLookup:
+			if op.NewFH != 0 {
 				names[key(op.FH, op.Name)] = op.NewFH
 			}
-		case "rename":
+		case core.ProcRename:
 			k := key(op.FH, op.Name)
 			if fh, ok := names[k]; ok {
 				delete(names, k)
 				names[key(op.FH2, op.Name2)] = fh
 			}
-		case "remove":
+		case core.ProcRemove:
 			fh, ok := names[key(op.FH, op.Name)]
 			if !ok {
 				continue
@@ -181,21 +181,21 @@ func AnalyzeNames(ops []*core.Op, windowEnd float64) *NameReport {
 				done = append(done, fl)
 				delete(lives, fh)
 			}
-		case "write":
+		case core.ProcWrite:
 			if fl, ok := lives[op.FH]; ok {
 				fl.writes++
 				if op.Size > fl.maxSize {
 					fl.maxSize = op.Size
 				}
 			}
-		case "read":
+		case core.ProcRead:
 			if fl, ok := lives[op.FH]; ok {
 				fl.reads++
 				if op.Size > fl.maxSize {
 					fl.maxSize = op.Size
 				}
 			}
-		case "setattr":
+		case core.ProcSetattr:
 			if fl, ok := lives[op.FH]; ok && op.Size > fl.maxSize {
 				fl.maxSize = op.Size
 			}

@@ -38,8 +38,10 @@ func (a Access) startBlock() int64 { return int64(a.Offset / BlockSize) }
 
 // AccessMap groups data accesses by file handle, in trace order. It is
 // the incremental form of FileAccesses: shards of the pipeline each
-// accumulate one AccessMap for the files they own.
-type AccessMap map[string][]Access
+// accumulate one AccessMap for the files they own. Keys are interned
+// handle IDs, so the per-op map update hashes one integer instead of a
+// hex string.
+type AccessMap map[core.FH][]Access
 
 // Add appends op's data access to its file's list; metadata ops are
 // ignored.
@@ -58,7 +60,7 @@ func (m AccessMap) Add(op *core.Op) {
 }
 
 // FileAccesses groups every data access by file handle, in trace order.
-func FileAccesses(ops []*core.Op) map[string][]Access {
+func FileAccesses(ops []*core.Op) map[core.FH][]Access {
 	m := make(AccessMap)
 	for _, op := range ops {
 		m.Add(op)
@@ -100,7 +102,7 @@ type ReorderSweepPoint struct {
 // sorting pass moves across the given files, plus the total access
 // count. The raw counts (rather than percentages) let the pipeline sum
 // partial sweeps across shards exactly.
-func SweepFiles(files map[string][]Access, windowsMS []float64) (swaps []int, total int) {
+func SweepFiles(files map[core.FH][]Access, windowsMS []float64) (swaps []int, total int) {
 	for _, accs := range files {
 		total += len(accs)
 	}
@@ -159,7 +161,7 @@ const (
 
 // Run is one detected run on one file.
 type Run struct {
-	FH       string
+	FH       core.FH
 	Accesses []Access
 	Kind     RunKind
 	Pattern  RunPattern
@@ -194,15 +196,17 @@ func DefaultRunConfig(windowMS float64) RunConfig {
 
 // DetectRunsInFiles splits each file's accesses into runs and
 // classifies them, iterating files in sorted-handle order so the run
-// list is reproducible. Every consumer of runs (Tabulate, SizeProfile,
+// list is reproducible. The sort is by the rendered handle spelling,
+// not the interned ID — ID numbering depends on decode interleaving,
+// spellings don't. Every consumer of runs (Tabulate, SizeProfile,
 // SequentialityProfile) aggregates per-run counts, so concatenating the
 // run lists of disjoint file sets yields identical tables.
-func DetectRunsInFiles(files map[string][]Access, cfg RunConfig) []Run {
-	fhs := make([]string, 0, len(files))
+func DetectRunsInFiles(files map[core.FH][]Access, cfg RunConfig) []Run {
+	fhs := make([]core.FH, 0, len(files))
 	for fh := range files {
 		fhs = append(fhs, fh)
 	}
-	sort.Strings(fhs)
+	sort.Slice(fhs, func(i, j int) bool { return fhs[i].String() < fhs[j].String() })
 
 	var runs []Run
 	for _, fh := range fhs {
@@ -226,7 +230,7 @@ func DetectRuns(ops []*core.Op, cfg RunConfig) []Run {
 
 // splitRuns applies the §4.2 run-break rules: a new run begins after an
 // access that referenced end-of-file, or after an idle gap.
-func splitRuns(fh string, accs []Access, cfg RunConfig) []Run {
+func splitRuns(fh core.FH, accs []Access, cfg RunConfig) []Run {
 	var runs []Run
 	var cur []Access
 	flush := func() {
@@ -249,7 +253,7 @@ func splitRuns(fh string, accs []Access, cfg RunConfig) []Run {
 	return runs
 }
 
-func classifyRun(fh string, accs []Access, cfg RunConfig) Run {
+func classifyRun(fh core.FH, accs []Access, cfg RunConfig) Run {
 	r := Run{FH: fh, Accesses: accs}
 	reads, writes := 0, 0
 	var maxSize uint64

@@ -9,12 +9,12 @@ import (
 
 // mkOp builds a read or write op on a file.
 func mkOp(t float64, fh string, write bool, off uint64, count uint32, size uint64, eof bool) *core.Op {
-	proc := "read"
+	proc := core.ProcRead
 	if write {
-		proc = "write"
+		proc = core.ProcWrite
 	}
 	return &core.Op{
-		T: t, Replied: true, Proc: proc, FH: fh,
+		T: t, Replied: true, Proc: proc, FH: core.InternFH(fh),
 		Offset: off, Count: count, RCount: count, Size: size, EOF: eof,
 	}
 }
@@ -145,7 +145,7 @@ func TestSingletonClassification(t *testing.T) {
 		t.Fatalf("%d runs", len(runs))
 	}
 	for _, r := range runs {
-		switch r.FH {
+		switch r.FH.String() {
 		case "a":
 			if r.Pattern != PatternSequential || r.Kind != RunWrite {
 				t.Fatalf("partial singleton: %+v", r)

@@ -17,14 +17,31 @@ type Summary struct {
 	BytesRead    uint64
 	BytesWritten uint64
 
-	// ProcCounts breaks the mix down by procedure.
-	ProcCounts map[string]int64
+	// ProcCounts breaks the mix down by procedure, indexed by the
+	// interned ProcID — a dense array, so the per-op update is one
+	// array store instead of a string-map hash.
+	ProcCounts ProcCountTable
+}
+
+// ProcCountTable is a dense per-procedure counter, indexed by
+// core.ProcID.
+type ProcCountTable [256]int64
+
+// ByName renders the table as a name → count map for presentation.
+func (t *ProcCountTable) ByName() map[string]int64 {
+	out := make(map[string]int64)
+	for id, n := range t {
+		if n != 0 {
+			out[core.ProcID(id).String()] = n
+		}
+	}
+	return out
 }
 
 // NewSummary returns an empty accumulator for a window of the given
 // number of days.
 func NewSummary(days float64) *Summary {
-	return &Summary{Days: days, ProcCounts: make(map[string]int64)}
+	return &Summary{Days: days}
 }
 
 // Add folds one operation into the summary.
@@ -53,8 +70,8 @@ func (s *Summary) Merge(other *Summary) {
 	s.MetadataOps += other.MetadataOps
 	s.BytesRead += other.BytesRead
 	s.BytesWritten += other.BytesWritten
-	for proc, n := range other.ProcCounts {
-		s.ProcCounts[proc] += n
+	for id, n := range other.ProcCounts {
+		s.ProcCounts[id] += n
 	}
 }
 

@@ -17,16 +17,16 @@ import (
 type PeakHourInstances struct {
 	From, To float64
 
-	cat       map[string]NameCategory
-	instances map[string]bool
+	cat       map[core.FH]NameCategory
+	instances map[core.FH]bool
 }
 
 // NewPeakHourInstances prepares a count over [from, to).
 func NewPeakHourInstances(from, to float64) *PeakHourInstances {
 	return &PeakHourInstances{
 		From: from, To: to,
-		cat:       make(map[string]NameCategory),
-		instances: make(map[string]bool),
+		cat:       make(map[core.FH]NameCategory),
+		instances: make(map[core.FH]bool),
 	}
 }
 
@@ -34,22 +34,23 @@ func NewPeakHourInstances(from, to float64) *PeakHourInstances {
 // (the §4.1.1 reconstruction — data ops carry only the handle);
 // instance collection is restricted to the window.
 func (p *PeakHourInstances) Add(op *core.Op) {
-	if op.NewFH != "" && op.Name != "" {
+	if op.NewFH != 0 && op.Name != "" {
 		p.cat[op.NewFH] = Categorize(op.Name)
 	}
 	if op.T < p.From || op.T >= p.To {
 		return
 	}
 	switch op.Proc {
-	case "read", "write", "getattr", "setattr", "access", "commit":
+	case core.ProcRead, core.ProcWrite, core.ProcGetattr, core.ProcSetattr,
+		core.ProcAccess, core.ProcCommit:
 		p.note(op.FH)
-	case "create", "lookup":
+	case core.ProcCreate, core.ProcLookup:
 		p.note(op.NewFH)
 	}
 }
 
-func (p *PeakHourInstances) note(fh string) {
-	if fh != "" {
+func (p *PeakHourInstances) note(fh core.FH) {
+	if fh != 0 {
 		p.instances[fh] = true
 	}
 }
@@ -108,23 +109,23 @@ func MergePeakHour(parts ...PeakHourResult) PeakHourResult {
 // mailbox and large-file handle sets, deferring the share computation
 // to Finish so that late name discoveries still count.
 type MailboxShare struct {
-	mailboxFH map[string]bool
-	big       map[string]bool
-	bytes     map[string]uint64
+	mailboxFH map[core.FH]bool
+	big       map[core.FH]bool
+	bytes     map[core.FH]uint64
 }
 
 // NewMailboxShare returns an empty accumulator.
 func NewMailboxShare() *MailboxShare {
 	return &MailboxShare{
-		mailboxFH: make(map[string]bool),
-		big:       make(map[string]bool),
-		bytes:     make(map[string]uint64),
+		mailboxFH: make(map[core.FH]bool),
+		big:       make(map[core.FH]bool),
+		bytes:     make(map[core.FH]uint64),
 	}
 }
 
 // Add folds one operation in.
 func (m *MailboxShare) Add(op *core.Op) {
-	if op.NewFH != "" && Categorize(op.Name) == CatMailbox {
+	if op.NewFH != 0 && Categorize(op.Name) == CatMailbox {
 		m.mailboxFH[op.NewFH] = true
 	}
 	// Handles populated before the trace (setup inboxes) are found by

@@ -143,7 +143,7 @@ func TestRecordAnonymization(t *testing.T) {
 	a := newAnon()
 	r := &core.Record{
 		Kind: core.KindCall, Client: 0xC0A80105, Server: 0xC0A80101,
-		UID: 501, GID: 100, Name: "love-letter.txt", Proc: "lookup",
+		UID: 501, GID: 100, Name: "love-letter.txt", Proc: core.MustProc("lookup"),
 	}
 	orig := *r
 	a.Record(r)

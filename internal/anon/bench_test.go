@@ -33,7 +33,7 @@ func BenchmarkRecord(b *testing.B) {
 	a := New(DefaultConfig(1))
 	rec := core.Record{
 		Kind: core.KindCall, Client: 0x0a000001, Server: 0x0a000002,
-		UID: 501, GID: 100, Name: "draft.txt", Proc: "lookup",
+		UID: 501, GID: 100, Name: "draft.txt", Proc: core.MustProc("lookup"),
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -164,9 +164,9 @@ func (s *Sniffer) handleMessage(t float64, f *wire.Frame, msg []byte) {
 				Time: t, Kind: core.KindCall,
 				Client: f.SrcIP.Uint32(), Port: f.SrcPort,
 				Server: f.DstIP.Uint32(), Proto: proto,
-				XID: ch.XID, Version: ch.Version, Proc: info.Name,
-				FH: info.FH.String(), Name: info.FName,
-				FH2: info.FH2.String(), Name2: info.FName2,
+				XID: ch.XID, Version: ch.Version, Proc: core.MustProc(info.Name),
+				FH: core.InternFH(info.FH.String()), Name: info.FName,
+				FH2: core.InternFH(info.FH2.String()), Name2: info.FName2,
 				Offset: info.Offset, Count: info.Count, Stable: info.Stable,
 			}
 			if info.SetSize != nil {
@@ -178,7 +178,7 @@ func (s *Sniffer) handleMessage(t float64, f *wire.Frame, msg []byte) {
 				Client: f.SrcIP.Uint32(), Port: f.SrcPort,
 				Server: f.DstIP.Uint32(), Proto: proto,
 				XID: ch.XID, Version: ch.Version,
-				Proc: mount.ProcName(ch.Proc),
+				Proc: internProc(ch.Proc, rpc.ProgramMount, ch.Version),
 			}
 			if ch.Proc == mount.ProcMnt || ch.Proc == mount.ProcUmnt {
 				args, err := mount.DecodeMntArgs(ch.Args)
@@ -218,16 +218,12 @@ func (s *Sniffer) handleMessage(t float64, f *wire.Frame, msg []byte) {
 		if rh.ReplyStat != rpc.MsgAccepted || rh.AcceptStat != rpc.Success {
 			// Rejected RPCs carry no NFS body; emit a bare error reply.
 			s.Stats.Replies++
-			procName := nfs.ProcName(call.version, call.proc)
-			if call.program == rpc.ProgramMount {
-				procName = mount.ProcName(call.proc)
-			}
 			s.deliver(&core.Record{
 				Time: t, Kind: core.KindReply,
 				Client: f.DstIP.Uint32(), Port: f.DstPort,
 				Server: f.SrcIP.Uint32(), Proto: proto,
 				XID: rh.XID, Version: call.version,
-				Proc:   procName,
+				Proc:   internProc(call.proc, call.program, call.version),
 				Status: nfs.ErrIO,
 			})
 			return
@@ -238,7 +234,7 @@ func (s *Sniffer) handleMessage(t float64, f *wire.Frame, msg []byte) {
 				Client: f.DstIP.Uint32(), Port: f.DstPort,
 				Server: f.SrcIP.Uint32(), Proto: proto,
 				XID: rh.XID, Version: call.version,
-				Proc: mount.ProcName(call.proc),
+				Proc: internProc(call.proc, call.program, call.version),
 			}
 			if call.proc == mount.ProcMnt {
 				res, err := mount.DecodeMntRes(rh.Results)
@@ -247,7 +243,7 @@ func (s *Sniffer) handleMessage(t float64, f *wire.Frame, msg []byte) {
 					return
 				}
 				rec.Status = res.Status
-				rec.NewFH = res.FH.String()
+				rec.NewFH = core.InternFH(res.FH.String())
 			}
 			s.Stats.Replies++
 			s.deliver(rec)
@@ -263,9 +259,9 @@ func (s *Sniffer) handleMessage(t float64, f *wire.Frame, msg []byte) {
 			Time: t, Kind: core.KindReply,
 			Client: f.DstIP.Uint32(), Port: f.DstPort,
 			Server: f.SrcIP.Uint32(), Proto: proto,
-			XID: rh.XID, Version: call.version, Proc: info.Name,
+			XID: rh.XID, Version: call.version, Proc: core.MustProc(info.Name),
 			Status: info.Status, RCount: info.Count, EOF: info.EOF,
-			NewFH: info.NewFH.String(),
+			NewFH: core.InternFH(info.NewFH.String()),
 		}
 		if info.Attr != nil {
 			rec.Size = info.Attr.Size
@@ -277,6 +273,22 @@ func (s *Sniffer) handleMessage(t float64, f *wire.Frame, msg []byte) {
 		}
 		s.deliver(rec)
 	}
+}
+
+// internProc interns the procedure name of a decoded RPC. Out-of-range
+// procedure numbers render as nfs.ProcName's "proc-N" forms, which
+// register dynamically; should a hostile capture exhaust the byte-sized
+// table, the name collapses to "null" rather than dropping the record.
+func internProc(proc, program, version uint32) core.ProcID {
+	name := nfs.ProcName(version, proc)
+	if program == rpc.ProgramMount {
+		name = mount.ProcName(proc)
+	}
+	id, err := core.InternProc(name)
+	if err != nil {
+		return core.ProcNull
+	}
+	return id
 }
 
 func (s *Sniffer) deliver(rec *core.Record) {

@@ -196,7 +196,7 @@ func TestSnifferLostCallYieldsOrphanReply(t *testing.T) {
 	// The remaining access call+reply still decode.
 	found := 0
 	for _, r := range got {
-		if r.Proc == "access" {
+		if r.Proc == core.MustProc("access") {
 			found++
 		}
 	}

@@ -52,16 +52,16 @@ func TestSnifferDecodesMountProtocol(t *testing.T) {
 		t.Fatalf("%d records", len(got))
 	}
 	call, reply := got[0], got[1]
-	if call.Proc != "mnt" || call.Name != "/home/u001" {
+	if call.Proc != core.MustProc("mnt") || call.Name != "/home/u001" {
 		t.Fatalf("call: %+v", call)
 	}
 	if call.UID != 3000 || call.GID != 300 {
 		t.Fatalf("cred: %d/%d", call.UID, call.GID)
 	}
-	if reply.Proc != "mnt" || reply.Status != mount.OK {
+	if reply.Proc != core.MustProc("mnt") || reply.Status != mount.OK {
 		t.Fatalf("reply: %+v", reply)
 	}
-	if reply.NewFH != nfs.MakeFH(2).String() {
+	if reply.NewFH.String() != nfs.MakeFH(2).String() {
 		t.Fatalf("root fh %q", reply.NewFH)
 	}
 	if s.Stats.NonNFS != 0 || s.Stats.Calls != 1 || s.Stats.Replies != 1 {
@@ -82,7 +82,7 @@ func TestSnifferMountThenNFSJoins(t *testing.T) {
 	if stats.Matched != 1 {
 		t.Fatalf("join: %+v", stats)
 	}
-	if ops[0].Proc != "mnt" || ops[0].NewFH == "" {
+	if ops[0].Proc != core.MustProc("mnt") || ops[0].NewFH == core.InternFH("") {
 		t.Fatalf("op: %+v", ops[0])
 	}
 }

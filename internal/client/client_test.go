@@ -60,10 +60,10 @@ func TestRoundTripEmitsCallAndReply(t *testing.T) {
 	if call.XID != reply.XID {
 		t.Fatal("xid mismatch")
 	}
-	if call.Proc != "create" || call.Name != "mbox" {
+	if call.Proc != core.MustProc("create") || call.Name != "mbox" {
 		t.Fatalf("call: %+v", call)
 	}
-	if reply.NewFH == "" || reply.Status != 0 {
+	if reply.NewFH == core.InternFH("") || reply.Status != 0 {
 		t.Fatalf("reply: %+v", reply)
 	}
 	if reply.Time <= call.Time {
@@ -92,7 +92,7 @@ func TestReadFileCacheAbsorption(t *testing.T) {
 	}
 	readCalls := 0
 	for _, r := range sink.Records[before:] {
-		if r.Kind == core.KindCall && r.Proc == "read" {
+		if r.Kind == core.KindCall && r.Proc == core.MustProc("read") {
 			readCalls++
 		}
 	}
@@ -108,7 +108,7 @@ func TestReadFileCacheAbsorption(t *testing.T) {
 		t.Fatalf("cached read moved %d bytes", wire2)
 	}
 	for _, r := range sink.Records[before:] {
-		if r.Proc == "read" {
+		if r.Proc == core.MustProc("read") {
 			t.Fatal("cached read hit the wire")
 		}
 	}
@@ -123,10 +123,10 @@ func TestReadFileCacheAbsorption(t *testing.T) {
 	sawGetattr := false
 	for _, r := range sink.Records[before:] {
 		if r.Kind == core.KindCall {
-			if r.Proc == "getattr" {
+			if r.Proc == core.MustProc("getattr") {
 				sawGetattr = true
 			}
-			if r.Proc == "read" {
+			if r.Proc == core.MustProc("read") {
 				t.Fatal("valid cache re-read")
 			}
 		}
@@ -199,7 +199,7 @@ func TestV2ClientEmitsV2Records(t *testing.T) {
 		if r.Version != nfs.V2 {
 			t.Fatalf("v2 client emitted v%d record: %+v", r.Version, r)
 		}
-		if r.Proc == "access" || r.Proc == "commit" {
+		if r.Proc == core.MustProc("access") || r.Proc == core.MustProc("commit") {
 			t.Fatalf("v2 client emitted v3-only proc %q", r.Proc)
 		}
 	}
@@ -208,7 +208,7 @@ func TestV2ClientEmitsV2Records(t *testing.T) {
 	// v2 records, count preserved).
 	var sawWrite bool
 	for _, r := range sink.Records {
-		if r.Kind == core.KindCall && r.Proc == "write" {
+		if r.Kind == core.KindCall && r.Proc == core.MustProc("write") {
 			sawWrite = true
 			if r.Count != 4096 {
 				t.Fatalf("v2 write count %d", r.Count)
@@ -230,7 +230,7 @@ func TestAppendUsesCachedSize(t *testing.T) {
 	// Find the write calls; the second append must start at offset 5000.
 	var offsets []uint64
 	for _, r := range sink.Records {
-		if r.Kind == core.KindCall && r.Proc == "write" {
+		if r.Kind == core.KindCall && r.Proc == core.MustProc("write") {
 			offsets = append(offsets, r.Offset)
 		}
 	}
@@ -313,7 +313,7 @@ func TestReadRangePipelinedTimesCanSwap(t *testing.T) {
 	}
 	var reads []ev
 	for _, r := range sink.Records {
-		if r.Kind == core.KindCall && r.Proc == "read" {
+		if r.Kind == core.KindCall && r.Proc == core.MustProc("read") {
 			reads = append(reads, ev{r.Time, r.Offset})
 		}
 	}

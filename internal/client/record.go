@@ -33,10 +33,10 @@ func buildCallRecord(t float64, clientIP uint32, port uint16, serverIP uint32,
 	rec := &core.Record{
 		Time: t, Kind: core.KindCall,
 		Client: clientIP, Port: port, Server: serverIP, Proto: proto,
-		XID: xid, Version: version, Proc: info.Name,
+		XID: xid, Version: version, Proc: core.MustProc(info.Name),
 		UID: uid, GID: gid,
-		FH: info.FH.String(), Name: info.FName,
-		FH2: info.FH2.String(), Name2: info.FName2,
+		FH: core.InternFH(info.FH.String()), Name: info.FName,
+		FH2: core.InternFH(info.FH2.String()), Name2: info.FName2,
 		Offset: info.Offset, Count: info.Count, Stable: info.Stable,
 	}
 	if info.SetSize != nil {
@@ -68,9 +68,9 @@ func buildReplyRecord(t float64, clientIP uint32, port uint16, serverIP uint32,
 	rec := &core.Record{
 		Time: t, Kind: core.KindReply,
 		Client: clientIP, Port: port, Server: serverIP, Proto: proto,
-		XID: xid, Version: version, Proc: info.Name,
+		XID: xid, Version: version, Proc: core.MustProc(info.Name),
 		Status: info.Status, RCount: info.Count, EOF: info.EOF,
-		NewFH: info.NewFH.String(),
+		NewFH: core.InternFH(info.NewFH.String()),
 	}
 	if info.Attr != nil {
 		rec.Size = info.Attr.Size

@@ -87,13 +87,13 @@ func (bw *BinaryWriter) Write(r *Record) error {
 	bw.buf = bw.buf[:0]
 
 	var bits uint32
-	if r.FH != "" {
+	if r.FH != 0 {
 		bits |= bfFH
 	}
 	if r.Name != "" {
 		bits |= bfName
 	}
-	if r.FH2 != "" {
+	if r.FH2 != 0 {
 		bits |= bfFH2
 	}
 	if r.Name2 != "" {
@@ -129,7 +129,7 @@ func (bw *BinaryWriter) Write(r *Record) error {
 	if r.HasPre {
 		bits |= bfPreSize
 	}
-	if r.NewFH != "" {
+	if r.NewFH != 0 {
 		bits |= bfNewFH
 	}
 	if r.EOF {
@@ -152,16 +152,16 @@ func (bw *BinaryWriter) Write(r *Record) error {
 	bw.varint(uint64(r.Server))
 	bw.varint(uint64(r.XID))
 	bw.varint(uint64(r.Version))
-	bw.str(r.Proc)
+	bw.str(r.Proc.String())
 
 	if bits&bfFH != 0 {
-		bw.str(r.FH)
+		bw.str(r.FH.String())
 	}
 	if bits&bfName != 0 {
 		bw.str(r.Name)
 	}
 	if bits&bfFH2 != 0 {
-		bw.str(r.FH2)
+		bw.str(r.FH2.String())
 	}
 	if bits&bfName2 != 0 {
 		bw.str(r.Name2)
@@ -197,7 +197,7 @@ func (bw *BinaryWriter) Write(r *Record) error {
 		bw.varint(r.PreSize)
 	}
 	if bits&bfNewFH != 0 {
-		bw.str(r.NewFH)
+		bw.str(r.NewFH.String())
 	}
 	if bits&bfUIDGID != 0 {
 		bw.varint(uint64(r.UID))
@@ -279,8 +279,17 @@ func (br *BinaryReader) Next() (*Record, error) {
 	if _, err := io.ReadFull(br.r, br.buf); err != nil {
 		return nil, fmt.Errorf("core: truncated binary record: %w", err)
 	}
-	return decodeRecord(br.buf, &br.lastUsec)
+	r := NewRecord()
+	if err := decodeRecord(br.buf, &br.lastUsec, r); err != nil {
+		FreeRecord(r)
+		return nil, err
+	}
+	return r, nil
 }
+
+// Recycle implements RecordRecycler: records from Next come from the
+// shared pool.
+func (br *BinaryReader) Recycle(r *Record) { FreeRecord(r) }
 
 type byteCursor struct {
 	b   []byte
@@ -297,16 +306,32 @@ func (c *byteCursor) uvarint() (uint64, error) {
 }
 
 func (c *byteCursor) str() (string, error) {
+	b, err := c.strBytes()
+	return string(b), err
+}
+
+// strBytes returns a view of the next length-prefixed string; the view
+// aliases the record buffer and must not be retained.
+func (c *byteCursor) strBytes() ([]byte, error) {
 	n, err := c.uvarint()
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	if c.off+int(n) > len(c.b) {
-		return "", errors.New("core: string overruns binary record")
+		return nil, errors.New("core: string overruns binary record")
 	}
-	s := string(c.b[c.off : c.off+int(n)])
+	b := c.b[c.off : c.off+int(n)]
 	c.off += int(n)
-	return s, nil
+	return b, nil
+}
+
+// fh interns the next length-prefixed handle spelling in place.
+func (c *byteCursor) fh() (FH, error) {
+	b, err := c.strBytes()
+	if err != nil {
+		return 0, err
+	}
+	return InternFHBytes(b), nil
 }
 
 func (c *byteCursor) byte() (byte, error) {
@@ -333,30 +358,30 @@ func recordTimeDelta(payload []byte) (int64, error) {
 	return int64(zz>>1) ^ -int64(zz&1), nil
 }
 
-// decodeRecord decodes one record payload. lastUsec carries the
+// decodeRecord decodes one record payload into r (which is
+// overwritten; pass a zeroed or pooled Record). lastUsec carries the
 // absolute time of the previous record (the format stores deltas) and
 // is advanced to this record's time.
-func decodeRecord(buf []byte, lastUsec *int64) (*Record, error) {
+func decodeRecord(buf []byte, lastUsec *int64, r *Record) error {
 	c := &byteCursor{b: buf}
 	bits64, err := c.uvarint()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	bits := uint32(bits64)
 	zz, err := c.uvarint()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	delta := int64(zz>>1) ^ -int64(zz&1)
 	*lastUsec += delta
 
-	var r Record
 	r.Time = float64(*lastUsec) / 1e6
 	if r.Kind, err = c.byte(); err != nil {
-		return nil, err
+		return err
 	}
 	if r.Proto, err = c.byte(); err != nil {
-		return nil, err
+		return err
 	}
 	get32 := func(dst *uint32) error {
 		v, err := c.uvarint()
@@ -364,113 +389,120 @@ func decodeRecord(buf []byte, lastUsec *int64) (*Record, error) {
 		return err
 	}
 	if err = get32(&r.Client); err != nil {
-		return nil, err
+		return err
 	}
 	port, err := c.uvarint()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	r.Port = uint16(port)
 	if err = get32(&r.Server); err != nil {
-		return nil, err
+		return err
 	}
 	if err = get32(&r.XID); err != nil {
-		return nil, err
+		return err
 	}
 	if err = get32(&r.Version); err != nil {
-		return nil, err
+		return err
 	}
-	if r.Proc, err = c.str(); err != nil {
-		return nil, err
+	// Interning is deferred to the end of the decode so a record whose
+	// later fields are corrupt does not register a garbage name in the
+	// bounded process-global proc table.
+	procB, err := c.strBytes()
+	if err != nil {
+		return err
 	}
 
 	if bits&bfFH != 0 {
-		if r.FH, err = c.str(); err != nil {
-			return nil, err
+		if r.FH, err = c.fh(); err != nil {
+			return err
 		}
 	}
 	if bits&bfName != 0 {
 		if r.Name, err = c.str(); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if bits&bfFH2 != 0 {
-		if r.FH2, err = c.str(); err != nil {
-			return nil, err
+		if r.FH2, err = c.fh(); err != nil {
+			return err
 		}
 	}
 	if bits&bfName2 != 0 {
 		if r.Name2, err = c.str(); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if bits&bfOffset != 0 {
 		if r.Offset, err = c.uvarint(); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if bits&bfCount != 0 {
 		if err = get32(&r.Count); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if bits&bfStable != 0 {
 		if err = get32(&r.Stable); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if bits&bfSetSize != 0 {
 		if r.SetSize, err = c.uvarint(); err != nil {
-			return nil, err
+			return err
 		}
 		r.HasSet = true
 	}
 	if bits&bfStatus != 0 {
 		if err = get32(&r.Status); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if bits&bfRCount != 0 {
 		if err = get32(&r.RCount); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if bits&bfSize != 0 {
 		if r.Size, err = c.uvarint(); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if bits&bfFileID != 0 {
 		if r.FileID, err = c.uvarint(); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if bits&bfMtime != 0 {
 		m, err := c.uvarint()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r.Mtime = float64(m) / 1e6
 	}
 	if bits&bfPreSize != 0 {
 		if r.PreSize, err = c.uvarint(); err != nil {
-			return nil, err
+			return err
 		}
 		r.HasPre = true
 	}
 	if bits&bfNewFH != 0 {
-		if r.NewFH, err = c.str(); err != nil {
-			return nil, err
+		if r.NewFH, err = c.fh(); err != nil {
+			return err
 		}
 	}
 	r.EOF = bits&bfEOF != 0
 	if bits&bfUIDGID != 0 {
 		if err = get32(&r.UID); err != nil {
-			return nil, err
+			return err
 		}
 		if err = get32(&r.GID); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return &r, nil
+	if r.Proc, err = InternProcBytes(procB); err != nil {
+		return err
+	}
+	return nil
 }

@@ -14,31 +14,31 @@ func randomRecord(rng *rand.Rand, t float64) *Record {
 		Time: t, Kind: KindCall, Proto: ProtoTCP,
 		Client: 0x0a010010 + uint32(rng.Intn(4)), Port: uint16(600 + rng.Intn(400)),
 		Server: 0x0a010001, XID: rng.Uint32(),
-		Version: 3, Proc: "read",
+		Version: 3, Proc: MustProc("read"),
 		UID: uint32(rng.Intn(10000)), GID: uint32(rng.Intn(1000)),
 	}
 	switch rng.Intn(4) {
 	case 0:
-		r.Proc = "read"
-		r.FH = "00000000000000aa"
+		r.Proc = MustProc("read")
+		r.FH = InternFH("00000000000000aa")
 		r.Offset = uint64(rng.Intn(1 << 20))
 		r.Count = 8192
 	case 1:
 		r.Kind = KindReply
-		r.Proc = "write"
+		r.Proc = MustProc("write")
 		r.Status = uint32(rng.Intn(3))
 		r.RCount = 8192
 		r.Size = uint64(rng.Intn(1 << 22))
 		r.PreSize, r.HasPre = uint64(rng.Intn(1<<22)), true
 		r.Mtime = t - 0.5
 	case 2:
-		r.Proc = "lookup"
-		r.FH = "0000000000000002"
+		r.Proc = MustProc("lookup")
+		r.FH = InternFH("0000000000000002")
 		r.Name = "inbox.lock"
 	case 3:
 		r.Kind = KindReply
-		r.Proc = "create"
-		r.NewFH = "00000000000000ff"
+		r.Proc = MustProc("create")
+		r.NewFH = InternFH("00000000000000ff")
 		r.FileID = uint64(rng.Intn(100000))
 		r.EOF = true
 		r.SetSize, r.HasSet = 0, true

@@ -12,8 +12,8 @@ func sampleCall() *Record {
 	return &Record{
 		Time: 1003680000.004742, Kind: KindCall,
 		Client: 0x0a000005, Port: 801, Server: 0x0a000001, Proto: ProtoUDP,
-		XID: 0xa2f3, Version: 3, Proc: "read",
-		FH: "0000000000000007", Offset: 8192, Count: 8192,
+		XID: 0xa2f3, Version: 3, Proc: MustProc("read"),
+		FH: InternFH("0000000000000007"), Offset: 8192, Count: 8192,
 		UID: 501, GID: 100,
 	}
 }
@@ -22,7 +22,7 @@ func sampleReply() *Record {
 	return &Record{
 		Time: 1003680000.005100, Kind: KindReply,
 		Client: 0x0a000005, Port: 801, Server: 0x0a000001, Proto: ProtoUDP,
-		XID: 0xa2f3, Version: 3, Proc: "read",
+		XID: 0xa2f3, Version: 3, Proc: MustProc("read"),
 		Status: 0, RCount: 8192, Size: 2 << 20, FileID: 7, EOF: false,
 	}
 }
@@ -43,8 +43,8 @@ func TestRecordRoundTrip(t *testing.T) {
 func TestRecordRoundTripAllFields(t *testing.T) {
 	r := &Record{
 		Time: 1.5, Kind: KindCall, Client: 1, Port: 2, Server: 3, Proto: ProtoTCP,
-		XID: 0xdeadbeef, Version: 2, Proc: "rename",
-		FH: "aa", Name: "old name.txt", FH2: "bb", Name2: "new=name",
+		XID: 0xdeadbeef, Version: 2, Proc: MustProc("rename"),
+		FH: InternFH("aa"), Name: "old name.txt", FH2: InternFH("bb"), Name2: "new=name",
 		Offset: 5, Count: 6, Stable: 2, SetSize: 0, HasSet: true,
 		UID: 7, GID: 8,
 	}
@@ -58,9 +58,9 @@ func TestRecordRoundTripAllFields(t *testing.T) {
 
 	rep := &Record{
 		Time: 2.25, Kind: KindReply, Client: 1, Port: 2, Server: 3, Proto: ProtoTCP,
-		XID: 1, Version: 3, Proc: "setattr",
+		XID: 1, Version: 3, Proc: MustProc("setattr"),
 		Status: 0, Size: 100, FileID: 42, Mtime: 123.456789,
-		PreSize: 9000, HasPre: true, NewFH: "cc", EOF: true,
+		PreSize: 9000, HasPre: true, NewFH: InternFH("cc"), EOF: true,
 	}
 	got, err = UnmarshalRecord(rep.Marshal())
 	if err != nil {
@@ -78,7 +78,7 @@ func TestEscaping(t *testing.T) {
 	}
 	for _, n := range names {
 		r := sampleCall()
-		r.Proc = "lookup"
+		r.Proc = MustProc("lookup")
 		r.Name = n
 		got, err := UnmarshalRecord(r.Marshal())
 		if err != nil {
@@ -91,7 +91,7 @@ func TestEscaping(t *testing.T) {
 }
 
 func TestEscapeQuick(t *testing.T) {
-	f := func(s string) bool { return unescape(escape(s)) == s }
+	f := func(s string) bool { return unescapeBytes([]byte(escape(s))) == s }
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
 	}
@@ -123,7 +123,7 @@ func TestUnknownKeysIgnored(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.FH != "0000000000000007" {
+	if got.FH != InternFH("0000000000000007") {
 		t.Fatal("known fields lost")
 	}
 }
@@ -303,7 +303,7 @@ func TestOpClassification(t *testing.T) {
 		"getattr": {false, false, true},
 		"lookup":  {false, false, true},
 	} {
-		op := &Op{Proc: proc}
+		op := &Op{Proc: MustProc(proc)}
 		if op.IsRead() != want[0] || op.IsWrite() != want[1] || op.IsMetadata() != want[2] {
 			t.Errorf("%s: classification wrong", proc)
 		}

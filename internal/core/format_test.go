@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// fmtMarshalReference reproduces the original fmt/strings.Builder text
+// rendering, field by field. AppendMarshal replaced it for speed; the
+// on-disk format must not have moved, or externally stored traces stop
+// round-tripping.
+func fmtMarshalReference(r *Record) string {
+	var b strings.Builder
+	b.Grow(160)
+	fmt.Fprintf(&b, "%.6f %s %s.%d %s %s %x %d %s",
+		r.Time, string([]byte{r.Kind}), ipString(r.Client), r.Port, ipString(r.Server),
+		string([]byte{r.Proto}), r.XID, r.Version, r.Proc.String())
+	kv := func(k, v string) {
+		b.WriteByte(' ')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(v)
+	}
+	if r.Kind == KindCall {
+		if r.FH != 0 {
+			kv("fh", r.FH.String())
+		}
+		if r.Name != "" {
+			kv("name", escape(r.Name))
+		}
+		if r.FH2 != 0 {
+			kv("fh2", r.FH2.String())
+		}
+		if r.Name2 != "" {
+			kv("name2", escape(r.Name2))
+		}
+		if r.Offset != 0 {
+			kv("off", strconv.FormatUint(r.Offset, 10))
+		}
+		if r.Count != 0 {
+			kv("count", strconv.FormatUint(uint64(r.Count), 10))
+		}
+		if r.Stable != 0 {
+			kv("stable", strconv.FormatUint(uint64(r.Stable), 10))
+		}
+		if r.HasSet {
+			kv("setsize", strconv.FormatUint(r.SetSize, 10))
+		}
+		kv("uid", strconv.FormatUint(uint64(r.UID), 10))
+		kv("gid", strconv.FormatUint(uint64(r.GID), 10))
+		return b.String()
+	}
+	kv("status", strconv.FormatUint(uint64(r.Status), 10))
+	if r.RCount != 0 {
+		kv("rcount", strconv.FormatUint(uint64(r.RCount), 10))
+	}
+	if r.Size != 0 {
+		kv("size", strconv.FormatUint(r.Size, 10))
+	}
+	if r.FileID != 0 {
+		kv("fileid", strconv.FormatUint(r.FileID, 10))
+	}
+	if r.Mtime != 0 {
+		kv("mtime", strconv.FormatFloat(r.Mtime, 'f', 6, 64))
+	}
+	if r.HasPre {
+		kv("presize", strconv.FormatUint(r.PreSize, 10))
+	}
+	if r.NewFH != 0 {
+		kv("newfh", r.NewFH.String())
+	}
+	if r.EOF {
+		kv("eof", "1")
+	}
+	return b.String()
+}
+
+// TestAppendMarshalMatchesFmtReference pins the append-style serializer
+// byte for byte against the fmt-based rendering it replaced, across
+// random record shapes and the awkward field values (escaped names,
+// high bytes in tags, extreme numbers).
+func TestAppendMarshalMatchesFmtReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tm := 1000.0
+	check := func(r *Record) {
+		t.Helper()
+		want := fmtMarshalReference(r)
+		got := r.Marshal()
+		if got != want {
+			t.Fatalf("format moved:\n got %q\nwant %q", got, want)
+		}
+		if string(r.AppendMarshal(nil)) != want {
+			t.Fatalf("AppendMarshal diverges from Marshal for %q", want)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		tm += rng.Float64() * 0.01
+		check(randomRecord(rng, tm))
+	}
+	awkward := []*Record{
+		{Time: 0, Kind: KindCall, Proto: 0xC3, Proc: ProcNull},
+		{Time: 1e9 + 0.123456, Kind: KindReply, Proto: ProtoUDP, Proc: ProcWrite,
+			Status: 70, Mtime: 0.000001, Size: 1<<63 + 5},
+		{Time: 42.5, Kind: KindCall, Proto: ProtoTCP, Proc: ProcRename,
+			FH: InternFH("ab"), Name: "spa ced\ttab\\slash=eq\nnl",
+			FH2: InternFH("cd"), Name2: "plain", Offset: ^uint64(0),
+			Count: ^uint32(0), Stable: 2, HasSet: true, SetSize: 0,
+			UID: ^uint32(0), GID: 1},
+		{Time: 7, Kind: KindReply, Proto: ProtoUDP, Proc: ProcCreate,
+			NewFH: InternFH("ff"), EOF: true, HasPre: true, PreSize: 12345,
+			FileID: ^uint64(0), RCount: 1},
+	}
+	for _, r := range awkward {
+		check(r)
+	}
+}

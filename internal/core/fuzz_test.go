@@ -27,7 +27,7 @@ func FuzzTextRecord(f *testing.F) {
 		f.Add(randomRecord(rng, tm).Marshal())
 	}
 	esc := sampleCall()
-	esc.Proc = "lookup"
+	esc.Proc = MustProc("lookup")
 	esc.Name = "spa ced\ttab\\slash=eq\nnl"
 	f.Add(esc.Marshal())
 	f.Add(sampleReply().Marshal())
@@ -36,6 +36,16 @@ func FuzzTextRecord(f *testing.F) {
 	f.Add("1.0 C 1.2 3 U 5 3 read uid=0 gid=0")
 	f.Add("1.0 Z 1.2 3 U 5 3 read")
 	f.Add("xxx C 1.2 3 U 5 3 read uid=0")
+	// Tokenizer edges: exotic separators, the float fast-path
+	// boundaries and its strconv fallback, saturating kv values, hex
+	// case, and dynamically interned procedure names.
+	f.Add("1.0\tC\t1.2 3\vU\r5 3 read uid=0 gid=0")
+	f.Add("1e5 C 1.2 3 U 5 3 read uid=0 gid=0")
+	f.Add("9007199254740993.5 C 1.2 3 U 5 3 read uid=0 gid=0")
+	f.Add("1.1234567 C 1.2 3 U 5 3 read mtime=2.9999999 uid=0 gid=0")
+	f.Add("1.0 C aB.65535 FFFF U ffffffff 4294967295 read off=99999999999999999999 count=99999999999999999999 uid=0 gid=0")
+	f.Add("1.0 C 1.2 3 U 5 3 some-unseen-proc fh=00ff newfh=00FF name=a\\sb eof=1")
+	f.Add("1.0 C 1.2 3 U 5 3 read = =x x= fh= uid=0 gid=0")
 
 	f.Fuzz(func(t *testing.T, line string) {
 		rec, err := UnmarshalRecord(line)
@@ -77,17 +87,28 @@ func fuzzRecords(data []byte) []*Record {
 		}
 		return string(b)
 	}
+	// Proc is an interned byte-sized ID; derive it from the fuzz bytes
+	// through the intern table. Should a long fuzz campaign exhaust the
+	// table's dynamic space, collapse to "null" — the round trip still
+	// holds, IDs being equal.
+	proc := func() ProcID {
+		id, err := InternProc(str())
+		if err != nil {
+			return ProcNull
+		}
+		return id
+	}
 	n := int(next())%6 + 1
 	records := make([]*Record, 0, n)
 	for i := 0; i < n; i++ {
 		r := &Record{
 			Time: float64(u32()) / 1e6, Proto: next(),
 			Client: u32(), Port: u16(), Server: u32(), XID: u32(),
-			Version: u32(), Proc: str(), UID: u32(), GID: u32(),
-			FH: str(), Name: str(), FH2: str(), Name2: str(),
+			Version: u32(), Proc: proc(), UID: u32(), GID: u32(),
+			FH: InternFH(str()), Name: str(), FH2: InternFH(str()), Name2: str(),
 			Offset: u64(), Count: u32(), Stable: u32(),
 			Status: u32(), RCount: u32(), Size: u64(), FileID: u64(),
-			Mtime: float64(u32()) / 1e6, NewFH: str(),
+			Mtime: float64(u32()) / 1e6, NewFH: InternFH(str()),
 			EOF: next()%2 == 0,
 		}
 		r.Kind = KindCall
@@ -200,6 +221,11 @@ func FuzzIngestEquivalence(f *testing.F) {
 	f.Add([]byte("1.0 C 1.2 3 U 5 3 read uid=0 gid=0\ngarbage\n"))
 	f.Add([]byte{0x1f, 0x8b, 0x08}) // gzip magic, truncated header
 	f.Add([]byte{})
+	// New-tokenizer seeds: both front ends must tokenize these the same
+	// way — exotic separators, float fallbacks, interned unknown procs,
+	// and saturating values.
+	f.Add([]byte("1.0\tC\t1.2 3\vU\r5 3 read uid=0 gid=0\n1e5 C 1.2 3 U 5 3 equiv-proc fh=ab off=18446744073709551616\n"))
+	f.Add([]byte("9007199254740993.25 C aB.65535 FFFF U ffffffff 3 lookup fh=00ff name=x newfh=00FF\n# c\n\n1.1234567 R 1.2 3 U 5 3 read status=0 mtime=1e-3\n"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1<<16 {

@@ -30,7 +30,6 @@ import (
 	"fmt"
 	"io"
 	"runtime"
-	"strings"
 	"sync"
 )
 
@@ -148,6 +147,10 @@ func (p *ParallelReader) Stop() {
 	p.stopOnce.Do(func() { close(p.stop) })
 }
 
+// Recycle implements RecordRecycler: records from Next come from the
+// shared pool, and consumers hand dead ones back here.
+func (p *ParallelReader) Recycle(r *Record) { FreeRecord(r) }
+
 // Next implements RecordSource. Records come back in exact input
 // order; the first decode or read error is returned at the same point
 // in the stream where the serial reader would return it, and is then
@@ -216,6 +219,23 @@ func (p *ParallelReader) decodeLoop(binaryFormat bool) {
 	}
 }
 
+// readFill fills buf from br, returning the bytes read and the
+// underlying reader's error verbatim. Unlike io.ReadFull it never
+// rewrites a mid-stream error: a truncated gzip member reports
+// io.ErrUnexpectedEOF itself, and masking that as a clean end of input
+// would silently truncate a damaged archive.
+func readFill(br *bufio.Reader, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		m, err := br.Read(buf[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
 // splitText cuts the input into batches of whole lines. Like the
 // serial reader's scanner, a read error mid-stream still tokenizes the
 // bytes read so far (records before the failure are delivered), and a
@@ -225,10 +245,10 @@ func (p *ParallelReader) splitText(br *bufio.Reader, batchBytes int) {
 	line := int64(1)
 	for {
 		buf := make([]byte, batchBytes)
-		n, err := io.ReadFull(br, buf)
+		n, err := readFill(br, buf)
 		buf = buf[:n]
 		final := err != nil
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
+		if err == io.EOF {
 			err = nil
 		}
 		if !final {
@@ -297,13 +317,14 @@ func decodeTextBatch(b batch) result {
 			res.err = bufio.ErrTooLong
 			return res
 		}
-		s := strings.TrimSpace(string(ln))
-		if s == "" || strings.HasPrefix(s, "#") {
+		ln = bytes.TrimSpace(ln)
+		if len(ln) == 0 || ln[0] == '#' {
 			line++
 			continue
 		}
-		rec, err := UnmarshalRecord(s)
-		if err != nil {
+		rec := NewRecord()
+		if err := UnmarshalRecordBytes(ln, rec); err != nil {
+			FreeRecord(rec)
 			res.err = fmt.Errorf("line %d: %w", line, err)
 			return res
 		}
@@ -397,8 +418,9 @@ func decodeBinaryBatch(b batch) result {
 		}
 		payload := c.b[c.off : c.off+int(recLen)]
 		c.off += int(recLen)
-		rec, err := decodeRecord(payload, &lastUsec)
-		if err != nil {
+		rec := NewRecord()
+		if err := decodeRecord(payload, &lastUsec, rec); err != nil {
+			FreeRecord(rec)
 			res.err = err
 			return res
 		}

@@ -2,16 +2,17 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"compress/gzip"
 	"fmt"
 	"io"
-	"strings"
 )
 
 // Writer streams trace records to an io.Writer in the text format.
 type Writer struct {
-	w *bufio.Writer
-	n int64
+	w   *bufio.Writer
+	buf []byte // reused AppendMarshal scratch; no per-record allocation
+	n   int64
 }
 
 // NewWriter wraps w.
@@ -21,10 +22,9 @@ func NewWriter(w io.Writer) *Writer {
 
 // Write emits one record.
 func (tw *Writer) Write(r *Record) error {
-	if _, err := tw.w.WriteString(r.Marshal()); err != nil {
-		return err
-	}
-	if err := tw.w.WriteByte('\n'); err != nil {
+	tw.buf = r.AppendMarshal(tw.buf[:0])
+	tw.buf = append(tw.buf, '\n')
+	if _, err := tw.w.Write(tw.buf); err != nil {
 		return err
 	}
 	tw.n++
@@ -52,16 +52,18 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{s: s}
 }
 
-// Next returns the next record, or io.EOF.
+// Next returns the next record, or io.EOF. Records come from the
+// shared pool; a consumer that drops one may hand it back via Recycle.
 func (tr *Reader) Next() (*Record, error) {
 	for tr.s.Scan() {
 		tr.line++
-		line := strings.TrimSpace(tr.s.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		line := bytes.TrimSpace(tr.s.Bytes())
+		if len(line) == 0 || line[0] == '#' {
 			continue
 		}
-		r, err := UnmarshalRecord(line)
-		if err != nil {
+		r := NewRecord()
+		if err := UnmarshalRecordBytes(line, r); err != nil {
+			FreeRecord(r)
 			return nil, fmt.Errorf("line %d: %w", tr.line, err)
 		}
 		return r, nil
@@ -71,6 +73,10 @@ func (tr *Reader) Next() (*Record, error) {
 	}
 	return nil, io.EOF
 }
+
+// Recycle implements RecordRecycler: records from Next come from the
+// shared pool.
+func (tr *Reader) Recycle(r *Record) { FreeRecord(r) }
 
 // ReadAll slurps every record from r.
 func ReadAll(r io.Reader) ([]*Record, error) {

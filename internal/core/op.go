@@ -13,11 +13,11 @@ type Op struct {
 	Port     uint16
 	UID, GID uint32
 	Version  uint32
-	Proc     string
+	Proc     ProcID
 
-	FH      string // primary handle (hex)
+	FH      FH // primary handle, interned
 	Name    string
-	FH2     string
+	FH2     FH
 	Name2   string
 	Offset  uint64
 	Count   uint32 // requested
@@ -31,15 +31,15 @@ type Op struct {
 	PreSize uint64
 	HasPre  bool
 	FileID  uint64
-	NewFH   string
+	NewFH   FH
 	EOF     bool
 }
 
 // IsRead reports a data read.
-func (o *Op) IsRead() bool { return o.Proc == "read" }
+func (o *Op) IsRead() bool { return o.Proc == ProcRead }
 
 // IsWrite reports a data write.
-func (o *Op) IsWrite() bool { return o.Proc == "write" }
+func (o *Op) IsWrite() bool { return o.Proc == ProcWrite }
 
 // IsMetadata reports a non-data operation.
 func (o *Op) IsMetadata() bool { return !o.IsRead() && !o.IsWrite() }

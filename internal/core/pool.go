@@ -1,0 +1,40 @@
+package core
+
+import "sync"
+
+// Record pooling: the decode front end produces one Record per traced
+// message — tens of millions per real trace — and almost all of them
+// die moments later, as soon as the Joiner folds a call/reply pair into
+// an Op. Recycling them through a pool removes the dominant remaining
+// allocation on the ingest path.
+//
+// Ownership protocol: sources that allocate from the pool implement
+// RecordRecycler; a consumer that is done with a record hands it back
+// through the source's Recycle. Consumers must never recycle records
+// they obtained from a plain slice or other caller-owned storage —
+// sources that don't own their records simply don't implement the
+// interface, so the type assertion at the consumer picks the safe
+// default of doing nothing.
+
+var recordPool = sync.Pool{New: func() any { return new(Record) }}
+
+// NewRecord returns a zeroed Record, reusing pooled storage when
+// available.
+func NewRecord() *Record { return recordPool.Get().(*Record) }
+
+// FreeRecord zeroes r and returns it to the pool. The caller must hold
+// the only reference.
+func FreeRecord(r *Record) {
+	if r == nil {
+		return
+	}
+	*r = Record{}
+	recordPool.Put(r)
+}
+
+// RecordRecycler is implemented by record sources whose records come
+// from the pool. Consumers call Recycle when a record is dead; sources
+// that don't implement it keep ownership with the caller.
+type RecordRecycler interface {
+	Recycle(*Record)
+}

@@ -11,6 +11,11 @@
 //
 // All integers are decimal except xid and file handles, which are hex.
 // Unknown keys are ignored on read, so the format is extensible.
+//
+// In memory, file handles and procedure names are interned (see
+// intern.go): Record carries FH/ProcID integer IDs, and the original
+// spellings reappear only when a record is rendered back to a trace
+// format.
 package core
 
 import (
@@ -42,13 +47,13 @@ type Record struct {
 	Proto   byte    // ProtoUDP or ProtoTCP
 	XID     uint32
 	Version uint32
-	Proc    string // v3-vocabulary procedure name
+	Proc    ProcID // interned v3-vocabulary procedure name
 
 	// Call fields.
 	UID, GID uint32
-	FH       string // primary handle, hex
-	Name     string // name within FH
-	FH2      string // target dir for rename/link
+	FH       FH // primary handle, interned hex
+	Name     string
+	FH2      FH // target dir for rename/link
 	Name2    string
 	Offset   uint64
 	Count    uint32 // requested bytes
@@ -64,7 +69,7 @@ type Record struct {
 	Mtime   float64
 	PreSize uint64 // wcc pre-op size
 	HasPre  bool
-	NewFH   string // handle returned by lookup/create
+	NewFH   FH // handle returned by lookup/create
 	EOF     bool
 }
 
@@ -72,79 +77,97 @@ type Record struct {
 // dotted quad; traces hold tens of millions of records).
 func ipString(v uint32) string { return strconv.FormatUint(uint64(v), 16) }
 
-func parseIP(s string) (uint32, error) {
-	v, err := strconv.ParseUint(s, 16, 32)
-	return uint32(v), err
+// AppendMarshal renders the record as one trace line (no trailing
+// newline) appended to dst. It is the per-record serialization path of
+// nfsconvert and nfsgen, so it is append-style throughout: no fmt, no
+// intermediate strings.
+func (r *Record) AppendMarshal(dst []byte) []byte {
+	dst = strconv.AppendFloat(dst, r.Time, 'f', 6, 64)
+	// Kind and Proto are single bytes on the wire; appending them as
+	// bytes (never runes) keeps values ≥ 0x80 one byte, which the
+	// parser requires of a tag.
+	dst = append(dst, ' ', r.Kind, ' ')
+	dst = strconv.AppendUint(dst, uint64(r.Client), 16)
+	dst = append(dst, '.')
+	dst = strconv.AppendUint(dst, uint64(r.Port), 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, uint64(r.Server), 16)
+	dst = append(dst, ' ', r.Proto, ' ')
+	dst = strconv.AppendUint(dst, uint64(r.XID), 16)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, uint64(r.Version), 10)
+	dst = append(dst, ' ')
+	dst = append(dst, r.Proc.String()...)
+	kvs := func(k string, v string) {
+		dst = append(dst, ' ')
+		dst = append(dst, k...)
+		dst = append(dst, '=')
+		dst = append(dst, v...)
+	}
+	kvu := func(k string, v uint64) {
+		dst = append(dst, ' ')
+		dst = append(dst, k...)
+		dst = append(dst, '=')
+		dst = strconv.AppendUint(dst, v, 10)
+	}
+	if r.Kind == KindCall {
+		if r.FH != 0 {
+			kvs("fh", r.FH.String())
+		}
+		if r.Name != "" {
+			kvs("name", escape(r.Name))
+		}
+		if r.FH2 != 0 {
+			kvs("fh2", r.FH2.String())
+		}
+		if r.Name2 != "" {
+			kvs("name2", escape(r.Name2))
+		}
+		if r.Offset != 0 {
+			kvu("off", r.Offset)
+		}
+		if r.Count != 0 {
+			kvu("count", uint64(r.Count))
+		}
+		if r.Stable != 0 {
+			kvu("stable", uint64(r.Stable))
+		}
+		if r.HasSet {
+			kvu("setsize", r.SetSize)
+		}
+		kvu("uid", uint64(r.UID))
+		kvu("gid", uint64(r.GID))
+		return dst
+	}
+	kvu("status", uint64(r.Status))
+	if r.RCount != 0 {
+		kvu("rcount", uint64(r.RCount))
+	}
+	if r.Size != 0 {
+		kvu("size", r.Size)
+	}
+	if r.FileID != 0 {
+		kvu("fileid", r.FileID)
+	}
+	if r.Mtime != 0 {
+		dst = append(dst, " mtime="...)
+		dst = strconv.AppendFloat(dst, r.Mtime, 'f', 6, 64)
+	}
+	if r.HasPre {
+		kvu("presize", r.PreSize)
+	}
+	if r.NewFH != 0 {
+		kvs("newfh", r.NewFH.String())
+	}
+	if r.EOF {
+		kvs("eof", "1")
+	}
+	return dst
 }
 
 // Marshal renders the record as one trace line (no trailing newline).
 func (r *Record) Marshal() string {
-	var b strings.Builder
-	b.Grow(160)
-	// Kind and Proto are single bytes on the wire; %c would UTF-8
-	// encode values ≥ 0x80 into two bytes, which the parser (rightly)
-	// rejects as a multi-byte tag.
-	fmt.Fprintf(&b, "%.6f %s %s.%d %s %s %x %d %s",
-		r.Time, string([]byte{r.Kind}), ipString(r.Client), r.Port, ipString(r.Server),
-		string([]byte{r.Proto}), r.XID, r.Version, r.Proc)
-	kv := func(k, v string) {
-		b.WriteByte(' ')
-		b.WriteString(k)
-		b.WriteByte('=')
-		b.WriteString(v)
-	}
-	if r.Kind == KindCall {
-		if r.FH != "" {
-			kv("fh", r.FH)
-		}
-		if r.Name != "" {
-			kv("name", escape(r.Name))
-		}
-		if r.FH2 != "" {
-			kv("fh2", r.FH2)
-		}
-		if r.Name2 != "" {
-			kv("name2", escape(r.Name2))
-		}
-		if r.Offset != 0 {
-			kv("off", strconv.FormatUint(r.Offset, 10))
-		}
-		if r.Count != 0 {
-			kv("count", strconv.FormatUint(uint64(r.Count), 10))
-		}
-		if r.Stable != 0 {
-			kv("stable", strconv.FormatUint(uint64(r.Stable), 10))
-		}
-		if r.HasSet {
-			kv("setsize", strconv.FormatUint(r.SetSize, 10))
-		}
-		kv("uid", strconv.FormatUint(uint64(r.UID), 10))
-		kv("gid", strconv.FormatUint(uint64(r.GID), 10))
-		return b.String()
-	}
-	kv("status", strconv.FormatUint(uint64(r.Status), 10))
-	if r.RCount != 0 {
-		kv("rcount", strconv.FormatUint(uint64(r.RCount), 10))
-	}
-	if r.Size != 0 {
-		kv("size", strconv.FormatUint(r.Size, 10))
-	}
-	if r.FileID != 0 {
-		kv("fileid", strconv.FormatUint(r.FileID, 10))
-	}
-	if r.Mtime != 0 {
-		kv("mtime", strconv.FormatFloat(r.Mtime, 'f', 6, 64))
-	}
-	if r.HasPre {
-		kv("presize", strconv.FormatUint(r.PreSize, 10))
-	}
-	if r.NewFH != "" {
-		kv("newfh", r.NewFH)
-	}
-	if r.EOF {
-		kv("eof", "1")
-	}
-	return b.String()
+	return string(r.AppendMarshal(make([]byte, 0, 160)))
 }
 
 // escape protects spaces and control characters in filenames; the
@@ -173,133 +196,354 @@ func escape(s string) string {
 	return b.String()
 }
 
-func unescape(s string) string {
-	if !strings.ContainsRune(s, '\\') {
-		return s
+// unescapeBytes decodes the escape scheme into a fresh string. The
+// input bytes are never retained.
+func unescapeBytes(s []byte) string {
+	i := 0
+	for i < len(s) && s[i] != '\\' {
+		i++
 	}
-	var b strings.Builder
-	for i := 0; i < len(s); i++ {
+	if i == len(s) {
+		return string(s)
+	}
+	b := make([]byte, 0, len(s))
+	b = append(b, s[:i]...)
+	for ; i < len(s); i++ {
 		if s[i] != '\\' || i == len(s)-1 {
-			b.WriteByte(s[i])
+			b = append(b, s[i])
 			continue
 		}
 		i++
 		switch s[i] {
 		case 's':
-			b.WriteByte(' ')
+			b = append(b, ' ')
 		case 't':
-			b.WriteByte('\t')
+			b = append(b, '\t')
 		case 'n':
-			b.WriteByte('\n')
+			b = append(b, '\n')
 		case 'e':
-			b.WriteByte('=')
+			b = append(b, '=')
 		case '\\':
-			b.WriteByte('\\')
+			b = append(b, '\\')
 		default:
-			b.WriteByte(s[i])
+			b = append(b, s[i])
 		}
 	}
-	return b.String()
+	return string(b)
+}
+
+// isFieldSep reports a byte that separates fields within a line.
+func isFieldSep(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\v' || c == '\f' || c == '\r'
+}
+
+// nextField returns the next whitespace-delimited field of line
+// starting at *pos, advancing *pos past it; ok is false at end of line.
+func nextField(line []byte, pos *int) (field []byte, ok bool) {
+	i := *pos
+	for i < len(line) && isFieldSep(line[i]) {
+		i++
+	}
+	if i >= len(line) {
+		*pos = i
+		return nil, false
+	}
+	start := i
+	for i < len(line) && !isFieldSep(line[i]) {
+		i++
+	}
+	*pos = i
+	return line[start:i], true
+}
+
+func countFields(line []byte) int {
+	n, pos := 0, 0
+	for {
+		if _, ok := nextField(line, &pos); !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// parseUintDec parses a decimal field. Syntax errors yield (0, false).
+// Overflow depends on the caller's role: kv values saturate at the bit
+// size's maximum and still report ok (the old
+// strconv-and-ignore-the-error semantics, where ParseUint's ErrRange
+// value was kept), while header fields treat overflow as an error,
+// exactly as the old explicit ParseUint checks did.
+func parseUintDec(b []byte, bits int, saturate bool) (uint64, bool) {
+	max := uint64(1)<<bits - 1
+	if len(b) == 0 {
+		return 0, false
+	}
+	var v uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := uint64(c - '0')
+		if v > (max-d)/10 {
+			if saturate {
+				return max, true
+			}
+			return 0, false
+		}
+		v = v*10 + d
+	}
+	return v, true
+}
+
+func parseUintSat(b []byte, bits int) (uint64, bool) { return parseUintDec(b, bits, true) }
+
+func parseUintStrict(b []byte, bits int) (uint64, bool) { return parseUintDec(b, bits, false) }
+
+// parseHexStrict parses a hex header field; overflow is an error.
+func parseHexStrict(b []byte, bits int) (uint64, bool) {
+	max := uint64(1)<<bits - 1
+	if len(b) == 0 {
+		return 0, false
+	}
+	var v uint64
+	for _, c := range b {
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, false
+		}
+		if v > max>>4 {
+			return 0, false
+		}
+		v = v<<4 | d
+	}
+	return v, true
+}
+
+// parseTime parses a non-negative decimal seconds value. The fast path
+// handles the canonical "%.6f" rendering (digits, optional point, up to
+// six fractional digits) with exact integer arithmetic — bit-identical
+// to strconv.ParseFloat for those inputs — and anything else (exponent
+// forms, long fractions, huge values) falls back to the library parser.
+func parseTime(b []byte) (float64, bool) {
+	var whole, frac uint64
+	i, fd := 0, 0
+	for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+		if whole > (1<<53)/10 {
+			goto slow
+		}
+		whole = whole*10 + uint64(b[i]-'0')
+		i++
+	}
+	if i == 0 {
+		goto slow
+	}
+	if i == len(b) {
+		return float64(whole), true
+	}
+	if b[i] != '.' {
+		goto slow
+	}
+	i++
+	if i == len(b) {
+		goto slow // trailing dot: let the library decide
+	}
+	for ; i < len(b); i++ {
+		if b[i] < '0' || b[i] > '9' || fd == 6 {
+			goto slow
+		}
+		frac = frac*10 + uint64(b[i]-'0')
+		fd++
+	}
+	for ; fd < 6; fd++ {
+		frac *= 10
+	}
+	if whole > (1<<53)/1000000-1 { // keep whole*1e6+frac under 2^53
+		goto slow
+	}
+	// whole*1e6+frac < 2^53, so the quotient by the exactly
+	// representable 1e6 is correctly rounded: the nearest float64 to
+	// the decimal input, exactly as ParseFloat computes it.
+	return float64(whole*1e6+frac) / 1e6, true
+
+slow:
+	v, err := strconv.ParseFloat(string(b), 64)
+	return v, err == nil
+}
+
+// UnmarshalRecordBytes parses one trace line into r, which must be
+// zeroed (fresh, pooled via NewRecord, or reset to Record{}): optional
+// kv fields are assigned only when present, so a reused dirty Record
+// would keep stale values. No reference into line is retained: handles
+// and procedure names are interned, and filename fields are copied. On
+// the hot path — a record with no filename — parsing performs no
+// allocation.
+func UnmarshalRecordBytes(line []byte, r *Record) error {
+	// The 8 header fields plus at least one kv field are mandatory; a
+	// field that is missing outright surfaces as the short-record
+	// error (the total count is recomputed only on that cold path).
+	pos := 0
+	short := func() error {
+		return fmt.Errorf("core: short record (%d fields)", countFields(line))
+	}
+	f, ok := nextField(line, &pos)
+	if !ok {
+		return short()
+	}
+	var tok bool
+	if r.Time, tok = parseTime(f); !tok {
+		return fmt.Errorf("core: bad time %q", f)
+	}
+	if f, ok = nextField(line, &pos); !ok {
+		return short()
+	}
+	if len(f) != 1 || (f[0] != KindCall && f[0] != KindReply) {
+		return fmt.Errorf("core: bad kind %q", f)
+	}
+	r.Kind = f[0]
+	if f, ok = nextField(line, &pos); !ok {
+		return short()
+	}
+	dot := -1
+	for i, c := range f {
+		if c == '.' {
+			dot = i
+			break
+		}
+	}
+	if dot < 0 {
+		return fmt.Errorf("core: bad client %q", f)
+	}
+	host, port := f[:dot], f[dot+1:]
+	v, tok := parseHexStrict(host, 32)
+	if !tok {
+		return fmt.Errorf("core: bad client ip %q", host)
+	}
+	r.Client = uint32(v)
+	if v, tok = parseUintStrict(port, 16); !tok {
+		return fmt.Errorf("core: bad client port %q", port)
+	}
+	r.Port = uint16(v)
+	if f, ok = nextField(line, &pos); !ok {
+		return short()
+	}
+	if v, tok = parseHexStrict(f, 32); !tok {
+		return fmt.Errorf("core: bad server ip %q", f)
+	}
+	r.Server = uint32(v)
+	if f, ok = nextField(line, &pos); !ok {
+		return short()
+	}
+	if len(f) != 1 {
+		return fmt.Errorf("core: bad proto %q", f)
+	}
+	r.Proto = f[0]
+	if f, ok = nextField(line, &pos); !ok {
+		return short()
+	}
+	if v, tok = parseHexStrict(f, 32); !tok {
+		return fmt.Errorf("core: bad xid %q", f)
+	}
+	r.XID = uint32(v)
+	if f, ok = nextField(line, &pos); !ok {
+		return short()
+	}
+	if v, tok = parseUintStrict(f, 32); !tok {
+		return fmt.Errorf("core: bad version %q", f)
+	}
+	r.Version = uint32(v)
+	if f, ok = nextField(line, &pos); !ok {
+		return short()
+	}
+	// Interning is deferred to the end of the parse: a malformed line
+	// must not register its (possibly garbage) proc token in the
+	// process-global table, which holds at most 256 distinct names.
+	procField := f
+
+	for first := true; ; first = false {
+		f, ok := nextField(line, &pos)
+		if !ok {
+			if first {
+				return short() // the 9th field is mandatory
+			}
+			proc, err := InternProcBytes(procField)
+			if err != nil {
+				return fmt.Errorf("core: bad proc %q: %w", procField, err)
+			}
+			r.Proc = proc
+			return nil
+		}
+		eq := -1
+		for i, c := range f {
+			if c == '=' {
+				eq = i
+				break
+			}
+		}
+		if eq < 0 {
+			continue
+		}
+		k, val := f[:eq], f[eq+1:]
+		switch string(k) { // compiler avoids the conversion in a switch
+		case "fh":
+			r.FH = InternFHBytes(val)
+		case "name":
+			r.Name = unescapeBytes(val)
+		case "fh2":
+			r.FH2 = InternFHBytes(val)
+		case "name2":
+			r.Name2 = unescapeBytes(val)
+		case "off":
+			r.Offset, _ = parseUintSat(val, 64)
+		case "count":
+			c, _ := parseUintSat(val, 32)
+			r.Count = uint32(c)
+		case "stable":
+			s, _ := parseUintSat(val, 32)
+			r.Stable = uint32(s)
+		case "setsize":
+			r.SetSize, _ = parseUintSat(val, 64)
+			r.HasSet = true
+		case "uid":
+			u, _ := parseUintSat(val, 32)
+			r.UID = uint32(u)
+		case "gid":
+			g, _ := parseUintSat(val, 32)
+			r.GID = uint32(g)
+		case "status":
+			s, _ := parseUintSat(val, 32)
+			r.Status = uint32(s)
+		case "rcount":
+			c, _ := parseUintSat(val, 32)
+			r.RCount = uint32(c)
+		case "size":
+			r.Size, _ = parseUintSat(val, 64)
+		case "fileid":
+			r.FileID, _ = parseUintSat(val, 64)
+		case "mtime":
+			r.Mtime, _ = parseTime(val)
+		case "presize":
+			r.PreSize, _ = parseUintSat(val, 64)
+			r.HasPre = true
+		case "newfh":
+			r.NewFH = InternFHBytes(val)
+		case "eof":
+			r.EOF = len(val) == 1 && val[0] == '1'
+		}
+	}
 }
 
 // UnmarshalRecord parses one trace line.
 func UnmarshalRecord(line string) (*Record, error) {
-	fields := strings.Fields(line)
-	if len(fields) < 9 {
-		return nil, fmt.Errorf("core: short record (%d fields)", len(fields))
+	r := NewRecord()
+	if err := UnmarshalRecordBytes([]byte(line), r); err != nil {
+		FreeRecord(r)
+		return nil, err
 	}
-	var r Record
-	var err error
-	if r.Time, err = strconv.ParseFloat(fields[0], 64); err != nil {
-		return nil, fmt.Errorf("core: bad time %q", fields[0])
-	}
-	if len(fields[1]) != 1 || (fields[1][0] != KindCall && fields[1][0] != KindReply) {
-		return nil, fmt.Errorf("core: bad kind %q", fields[1])
-	}
-	r.Kind = fields[1][0]
-	hostPort := strings.SplitN(fields[2], ".", 2)
-	if len(hostPort) != 2 {
-		return nil, fmt.Errorf("core: bad client %q", fields[2])
-	}
-	if r.Client, err = parseIP(hostPort[0]); err != nil {
-		return nil, fmt.Errorf("core: bad client ip %q", hostPort[0])
-	}
-	port, err := strconv.ParseUint(hostPort[1], 10, 16)
-	if err != nil {
-		return nil, fmt.Errorf("core: bad client port %q", hostPort[1])
-	}
-	r.Port = uint16(port)
-	if r.Server, err = parseIP(fields[3]); err != nil {
-		return nil, fmt.Errorf("core: bad server ip %q", fields[3])
-	}
-	if len(fields[4]) != 1 {
-		return nil, fmt.Errorf("core: bad proto %q", fields[4])
-	}
-	r.Proto = fields[4][0]
-	xid, err := strconv.ParseUint(fields[5], 16, 32)
-	if err != nil {
-		return nil, fmt.Errorf("core: bad xid %q", fields[5])
-	}
-	r.XID = uint32(xid)
-	vers, err := strconv.ParseUint(fields[6], 10, 32)
-	if err != nil {
-		return nil, fmt.Errorf("core: bad version %q", fields[6])
-	}
-	r.Version = uint32(vers)
-	r.Proc = fields[7]
-
-	for _, f := range fields[8:] {
-		eq := strings.IndexByte(f, '=')
-		if eq < 0 {
-			continue
-		}
-		k, v := f[:eq], f[eq+1:]
-		switch k {
-		case "fh":
-			r.FH = v
-		case "name":
-			r.Name = unescape(v)
-		case "fh2":
-			r.FH2 = v
-		case "name2":
-			r.Name2 = unescape(v)
-		case "off":
-			r.Offset, _ = strconv.ParseUint(v, 10, 64)
-		case "count":
-			c, _ := strconv.ParseUint(v, 10, 32)
-			r.Count = uint32(c)
-		case "stable":
-			s, _ := strconv.ParseUint(v, 10, 32)
-			r.Stable = uint32(s)
-		case "setsize":
-			r.SetSize, _ = strconv.ParseUint(v, 10, 64)
-			r.HasSet = true
-		case "uid":
-			u, _ := strconv.ParseUint(v, 10, 32)
-			r.UID = uint32(u)
-		case "gid":
-			g, _ := strconv.ParseUint(v, 10, 32)
-			r.GID = uint32(g)
-		case "status":
-			s, _ := strconv.ParseUint(v, 10, 32)
-			r.Status = uint32(s)
-		case "rcount":
-			c, _ := strconv.ParseUint(v, 10, 32)
-			r.RCount = uint32(c)
-		case "size":
-			r.Size, _ = strconv.ParseUint(v, 10, 64)
-		case "fileid":
-			r.FileID, _ = strconv.ParseUint(v, 10, 64)
-		case "mtime":
-			r.Mtime, _ = strconv.ParseFloat(v, 64)
-		case "presize":
-			r.PreSize, _ = strconv.ParseUint(v, 10, 64)
-			r.HasPre = true
-		case "newfh":
-			r.NewFH = v
-		case "eof":
-			r.EOF = v == "1"
-		}
-	}
-	return &r, nil
+	return r, nil
 }

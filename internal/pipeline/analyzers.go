@@ -291,7 +291,7 @@ func (c *hierarchyAcc) Consume(op *core.Op) {
 		c.start = op.T + c.warmup
 		c.started = true
 	}
-	if op.T >= c.start && op.FH != "" {
+	if op.T >= c.start && op.FH != 0 {
 		c.total++
 		if c.h.Known(op.FH) {
 			c.resolvable++

@@ -36,7 +36,6 @@ package pipeline
 import (
 	"io"
 	"runtime"
-	"strconv"
 	"sync"
 
 	"repro/internal/core"
@@ -143,82 +142,92 @@ func (s Stats) Span() float64 {
 // reducers always see the complete story of their files.
 type router struct {
 	shards uint64
-	names  map[string]string
+	names  map[binding]core.FH
+}
+
+// binding is one (directory, name) edge in the router's name map.
+type binding struct {
+	dir  core.FH
+	name string
 }
 
 func newRouter(shards int) *router {
 	return &router{
 		shards: uint64(shards),
-		names:  make(map[string]string),
+		names:  make(map[binding]core.FH),
 	}
 }
 
-// fnv1a hashes the routing key; FNV-1a keeps shard assignment
-// deterministic across runs and machines, which makes any divergence a
-// reproducible bug rather than a flake.
-func fnv1a(s string) uint64 {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= 1099511628211
-	}
-	return h
+// mix32 finalizes an interned ID into a well-spread hash (the 32-bit
+// murmur3 finalizer). Interned IDs are small dense integers, so without
+// mixing, ID % shards would correlate with arrival order.
+func mix32(v uint32) uint64 {
+	v ^= v >> 16
+	v *= 0x85ebca6b
+	v ^= v >> 13
+	v *= 0xc2b2ae35
+	v ^= v >> 16
+	return uint64(v)
 }
 
 func (r *router) shard(op *core.Op) int {
-	key := r.key(op)
+	fh, byClient := r.key(op)
 	if r.shards == 1 {
 		// Binding maintenance inside key() still ran, so the map stays
 		// bounded and identical whatever the shard count; only the
 		// hash is skipped.
 		return 0
 	}
-	return int(fnv1a(key) % r.shards)
+	if byClient {
+		return int(mix32(op.Client^0x9e3779b9) % r.shards)
+	}
+	return int(mix32(uint32(fh)) % r.shards)
 }
 
 // key computes the routing key and maintains the binding map — the two
 // are inseparable: routing a remove needs the binding, and the binding
-// lifecycle must be identical at every worker count.
-func (r *router) key(op *core.Op) string {
+// lifecycle must be identical at every worker count. byClient reports a
+// handleless op that routes by client instead.
+func (r *router) key(op *core.Op) (fh core.FH, byClient bool) {
 	switch op.Proc {
-	case "lookup", "create", "mkdir", "symlink":
+	case core.ProcLookup, core.ProcCreate, core.ProcMkdir, core.ProcSymlink:
 		// The op names a (possibly new) file: bind and route by it.
-		if op.Name != "" && op.NewFH != "" {
-			r.names[op.FH+"\x00"+op.Name] = op.NewFH
+		if op.Name != "" && op.NewFH != 0 {
+			r.names[binding{op.FH, op.Name}] = op.NewFH
 		}
-		if op.NewFH != "" {
-			return op.NewFH
+		if op.NewFH != 0 {
+			return op.NewFH, false
 		}
-	case "rename":
+	case core.ProcRename:
 		// The moved file's shard must see the rename so its binding
 		// follows, exactly as blockLifeState.trackNames applies it.
-		k := op.FH + "\x00" + op.Name
+		k := binding{op.FH, op.Name}
 		if fh, ok := r.names[k]; ok {
 			delete(r.names, k)
-			r.names[op.FH2+"\x00"+op.Name2] = fh
-			return fh
+			r.names[binding{op.FH2, op.Name2}] = fh
+			return fh, false
 		}
-	case "remove", "rmdir":
+	case core.ProcRemove, core.ProcRmdir:
 		// Route the removal to the shard owning the removed object,
 		// dropping the binding only on success — a failed remove
 		// leaves the name in place, mirroring the analyses. (The
 		// per-shard analyses ignore rmdir, so for them the routing
 		// choice is immaterial; resolving it here keeps the binding
 		// map from growing forever on mkdir/rmdir churn.)
-		k := op.FH + "\x00" + op.Name
+		k := binding{op.FH, op.Name}
 		if fh, ok := r.names[k]; ok {
 			if op.OK() {
 				delete(r.names, k)
 			}
-			return fh
+			return fh, false
 		}
 	}
-	if op.FH != "" {
-		return op.FH
+	if op.FH != 0 {
+		return op.FH, false
 	}
 	// Handleless ops (null, fsstat against the root, ...): spread by
 	// client so no shard becomes a hot spot.
-	return strconv.FormatUint(uint64(op.Client), 16)
+	return 0, true
 }
 
 // Run streams src through the engine, feeding every analyzer, and

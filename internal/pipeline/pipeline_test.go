@@ -269,17 +269,68 @@ func (c *countingSource) Next() (*core.Record, error) {
 // the release horizon: the joiner must keep streaming (and keep its
 // memory bounded) instead of buffering the rest of the trace until
 // EOF.
+// TestJoinerXIDReuseSameTimestamp: a client reusing an xid at the same
+// quantized timestamp after the first call completed must not unpin the
+// release horizon. With (time, key) alone identifying heap entries, the
+// second call's entry collided with the first's lazily deleted one and
+// was discarded, releasing younger ops ahead of the still-pending call
+// — a time-ordering violation downstream.
+func TestJoinerXIDReuseSameTimestamp(t *testing.T) {
+	rd := func(tm float64, kind byte, xid uint32) *core.Record {
+		return &core.Record{Time: tm, Kind: kind, Client: 1, Port: 1, XID: xid,
+			Proc: core.ProcRead, FH: core.InternFH("aa")}
+	}
+	records := []*core.Record{
+		// An older call that never gets its reply pins the heap top, so
+		// the lazy deletion below it cannot drain eagerly.
+		rd(4.0, core.KindCall, 9),
+		rd(5.0, core.KindCall, 1),
+		rd(5.0, core.KindReply, 1), // quantized to the call's timestamp
+		rd(5.0, core.KindCall, 1),  // xid reused at the same instant
+		rd(5.0, core.KindReply, 1), // ... and matched at it too
+		// Enough later traffic to push the expiry limit past t=5: with
+		// (time, key) heap entries the second match saturated the single
+		// gone flag, and expiring the ghost entry resolved to a missing
+		// pending call (nil-record crash in FromPair).
+		rd(400.0, core.KindCall, 3),
+		rd(400.5, core.KindReply, 3),
+	}
+	j := NewJoiner(&core.SliceSource{Records: records})
+	last := -1.0
+	n := 0
+	for {
+		op, err := j.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if op.T < last {
+			t.Fatalf("op %d out of order: T=%v after T=%v", n, op.T, last)
+		}
+		last = op.T
+		n++
+	}
+	if n != 4 {
+		t.Fatalf("joined %d ops, want 4", n)
+	}
+	if st := j.Stats(); st.Matched != 3 || st.UnmatchedCalls != 1 || st.OrphanReplies != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
 func TestJoinerExpiresStaleCalls(t *testing.T) {
 	// A call at t=0 that never gets a reply, then hours of normal
 	// call/reply traffic.
 	records := []*core.Record{
-		{Time: 0, Kind: core.KindCall, Client: 9, Port: 9, XID: 999, Proc: "read", FH: "dead"},
+		{Time: 0, Kind: core.KindCall, Client: 9, Port: 9, XID: 999, Proc: core.MustProc("read"), FH: core.InternFH("dead")},
 	}
 	for i := 1; i <= 4000; i++ {
 		tm := float64(i)
 		records = append(records,
-			&core.Record{Time: tm, Kind: core.KindCall, Client: 1, Port: 1, XID: uint32(i), Proc: "read", FH: "aa"},
-			&core.Record{Time: tm + 0.001, Kind: core.KindReply, Client: 1, Port: 1, XID: uint32(i), Proc: "read"},
+			&core.Record{Time: tm, Kind: core.KindCall, Client: 1, Port: 1, XID: uint32(i), Proc: core.MustProc("read"), FH: core.InternFH("aa")},
+			&core.Record{Time: tm + 0.001, Kind: core.KindReply, Client: 1, Port: 1, XID: uint32(i), Proc: core.MustProc("read")},
 		)
 	}
 
@@ -326,7 +377,7 @@ func (s *errSource) Next() (*core.Op, error) {
 		return nil, errors.New("boom")
 	}
 	s.n--
-	return &core.Op{T: 1, Proc: "read", FH: "aa"}, nil
+	return &core.Op{T: 1, Proc: core.MustProc("read"), FH: core.InternFH("aa")}, nil
 }
 
 // TestSourceErrorPropagates checks that a failing source shuts the

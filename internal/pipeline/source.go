@@ -30,14 +30,19 @@ import (
 // unchanged; the only divergence from core.Join is a reply arriving
 // more than MaxCallAge after its call, which then counts as an orphan.
 type Joiner struct {
-	src     core.RecordSource
-	pending map[joinKey]*core.Record
+	src core.RecordSource
+	// rec is the source's recycler when it pools its records; the
+	// joiner is the point where a record's last field has been copied
+	// into an Op, so it hands dead records back here.
+	rec     core.RecordRecycler
+	pending map[joinKey]pendingCall
 	// pendT tracks pending calls by time so the release horizon is
 	// O(log n) to maintain; matched entries are deleted lazily.
 	pendT    pendHeap
 	pendGone map[pendEntry]bool
 	ready    opHeap
 	seq      int64
+	born     int64
 	lastT    float64
 	drained  bool
 	stats    core.JoinStats
@@ -59,20 +64,39 @@ type joinKey struct {
 	xid    uint32
 }
 
-// pendEntry identifies one pending call in the age heap. Entries are
-// unique: while a call is pending, a duplicate of its key is dropped
-// as a retransmission, so (key, time) cannot repeat.
+// pendingCall is one unreplied call. born is its admission sequence
+// number, which makes heap entries unique: (key, time) alone can
+// repeat — a client may reuse an xid at the same quantized timestamp
+// after the first call completed — and a collision between a lazily
+// deleted entry and a live one would silently unpin the release
+// horizon.
+type pendingCall struct {
+	rec  *core.Record
+	born int64
+}
+
+// pendEntry identifies one pending call in the age heap.
 type pendEntry struct {
-	t float64
-	k joinKey
+	t    float64
+	born int64
+	k    joinKey
 }
 
 // NewJoiner wraps a time-ordered record source.
 func NewJoiner(src core.RecordSource) *Joiner {
+	rec, _ := src.(core.RecordRecycler)
 	return &Joiner{
 		src:      src,
-		pending:  make(map[joinKey]*core.Record),
+		rec:      rec,
+		pending:  make(map[joinKey]pendingCall),
 		pendGone: make(map[pendEntry]bool),
+	}
+}
+
+// free hands a dead record back to a pooling source.
+func (j *Joiner) free(r *core.Record) {
+	if j.rec != nil {
+		j.rec.Recycle(r)
 	}
 }
 
@@ -114,10 +138,11 @@ func (j *Joiner) expireStale() {
 		}
 		e := j.pendT[0]
 		heap.Pop(&j.pendT)
-		call := j.pending[e.k]
+		call := j.pending[e.k].rec
 		delete(j.pending, e.k)
 		j.stats.UnmatchedCalls++
 		j.push(core.FromPair(call, nil))
+		j.free(call)
 	}
 }
 
@@ -146,21 +171,26 @@ func (j *Joiner) ingest(r *core.Record) {
 		if _, ok := j.pending[k]; ok {
 			// Retransmission: keep the original call time, drop the
 			// duplicate, as the paper's tracer did.
+			j.free(r)
 			return
 		}
-		j.pending[k] = r
-		heap.Push(&j.pendT, pendEntry{t: r.Time, k: k})
+		j.born++
+		j.pending[k] = pendingCall{rec: r, born: j.born}
+		heap.Push(&j.pendT, pendEntry{t: r.Time, born: j.born, k: k})
 	case core.KindReply:
 		j.stats.Replies++
-		call, ok := j.pending[k]
+		pc, ok := j.pending[k]
 		if !ok {
 			j.stats.OrphanReplies++
+			j.free(r)
 			return
 		}
 		delete(j.pending, k)
-		j.pendGone[pendEntry{t: call.Time, k: k}] = true
+		j.pendGone[pendEntry{t: pc.rec.Time, born: pc.born, k: k}] = true
 		j.stats.Matched++
-		j.push(core.FromPair(call, r))
+		j.push(core.FromPair(pc.rec, r))
+		j.free(pc.rec)
+		j.free(r)
 	}
 }
 
@@ -168,8 +198,8 @@ func (j *Joiner) ingest(r *core.Record) {
 // order, once the source is exhausted.
 func (j *Joiner) drain() {
 	unmatched := make([]*core.Record, 0, len(j.pending))
-	for _, call := range j.pending {
-		unmatched = append(unmatched, call)
+	for _, pc := range j.pending {
+		unmatched = append(unmatched, pc.rec)
 	}
 	sort.Slice(unmatched, func(a, b int) bool {
 		x, y := unmatched[a], unmatched[b]
@@ -187,6 +217,7 @@ func (j *Joiner) drain() {
 	for _, call := range unmatched {
 		j.stats.UnmatchedCalls++
 		j.push(core.FromPair(call, nil))
+		j.free(call)
 	}
 	j.pending = nil
 	j.pendT = nil

@@ -152,6 +152,10 @@ func OpenTraceSet(paths []string, cfg core.IngestConfig) (*TraceSet, error) {
 // Next implements core.RecordSource over the merged set.
 func (ts *TraceSet) Next() (*core.Record, error) { return ts.src.Next() }
 
+// Recycle implements core.RecordRecycler: every file's parallel reader
+// allocates from the shared core pool, so dead records go back there.
+func (ts *TraceSet) Recycle(r *core.Record) { core.FreeRecord(r) }
+
 // Stats reports per-file record counts, complete once Next returned
 // io.EOF.
 func (ts *TraceSet) Stats() []FileStat {

@@ -21,8 +21,8 @@ func setRecords(n int, seed int64, start float64) []*core.Record {
 		records = append(records, &core.Record{
 			Time: tm, Kind: core.KindCall, Proto: core.ProtoUDP,
 			Client: 0x0a000005, Port: 800, Server: 0x0a000001,
-			XID: rng.Uint32(), Version: 3, Proc: "read",
-			FH: "00000000000000aa", Offset: uint64(i) * 8192, Count: 8192,
+			XID: rng.Uint32(), Version: 3, Proc: core.MustProc("read"),
+			FH: core.InternFH("00000000000000aa"), Offset: uint64(i) * 8192, Count: 8192,
 		})
 	}
 	return records

@@ -31,11 +31,11 @@ func TestEECSLogRotationDeletesAndRecreates(t *testing.T) {
 	var renames, removes, creates int
 	for _, op := range ops {
 		switch {
-		case op.Proc == "rename" && op.Name == "experiment.log":
+		case op.Proc == core.MustProc("rename") && op.Name == "experiment.log":
 			renames++
-		case op.Proc == "remove" && op.Name == "experiment.log.0":
+		case op.Proc == core.MustProc("remove") && op.Name == "experiment.log.0":
 			removes++
-		case op.Proc == "create" && op.Name == "experiment.log":
+		case op.Proc == core.MustProc("create") && op.Name == "experiment.log":
 			creates++
 		}
 	}
@@ -57,9 +57,9 @@ func TestEECSAppletChurn(t *testing.T) {
 			continue
 		}
 		switch op.Proc {
-		case "create":
+		case core.ProcCreate:
 			created[op.Name] = op.T
-		case "remove":
+		case core.ProcRemove:
 			if t0, ok := created[op.Name]; ok {
 				lifetimes = append(lifetimes, op.T-t0)
 				delete(created, op.Name)
@@ -123,16 +123,16 @@ func TestCampusLockTransience(t *testing.T) {
 		t.Skip("workload generation")
 	}
 	ops, _ := generateCampus(t, 3, 1)
-	created := map[string]float64{} // per-home lock create time
+	created := map[core.FH]float64{} // per-home lock create time
 	var lifetimes []float64
 	for _, op := range ops {
 		if op.Name != "inbox.lock" {
 			continue
 		}
 		switch op.Proc {
-		case "create":
+		case core.ProcCreate:
 			created[op.FH] = op.T
-		case "remove":
+		case core.ProcRemove:
 			if t0, ok := created[op.FH]; ok {
 				lifetimes = append(lifetimes, op.T-t0)
 				delete(created, op.FH)

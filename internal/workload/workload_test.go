@@ -214,20 +214,20 @@ func TestCampusShape(t *testing.T) {
 	// locks): count distinct file instances in a peak-hour window —
 	// every lock create is a fresh inode.
 	winFrom, winTo := Day+10*Hour, Day+11*Hour
-	instances := map[string]bool{}
-	lockInst := map[string]bool{}
+	instances := map[core.FH]bool{}
+	lockInst := map[core.FH]bool{}
 	for _, op := range ops {
 		if op.T < winFrom || op.T >= winTo {
 			continue
 		}
 		fh := op.FH
-		if op.Proc == "create" && op.NewFH != "" {
+		if op.Proc == core.ProcCreate && op.NewFH != 0 {
 			fh = op.NewFH
 		}
-		if op.Proc == "lookup" || op.IsMetadata() && fh == "" {
+		if op.Proc == core.ProcLookup || op.IsMetadata() && fh == 0 {
 			continue
 		}
-		if fh == "" {
+		if fh == 0 {
 			continue
 		}
 		instances[fh] = true
@@ -244,9 +244,9 @@ func TestCampusShape(t *testing.T) {
 	}
 
 	// Nearly all read bytes come from inboxes (>95% in the paper).
-	inboxFHs := map[string]bool{}
+	inboxFHs := map[core.FH]bool{}
 	for _, u := range camp.users {
-		inboxFHs[u.inboxFH.String()] = true
+		inboxFHs[core.InternFH(u.inboxFH.String())] = true
 	}
 	var inboxRead uint64
 	for _, op := range ops {
@@ -287,9 +287,9 @@ func TestCampusZeroLengthLocks(t *testing.T) {
 	}
 	ops, _ := generateCampus(t, 3, 1)
 	// Lock files are created and removed; they must never be written.
-	lockFHs := map[string]bool{}
+	lockFHs := map[core.FH]bool{}
 	for _, op := range ops {
-		if op.Proc == "create" && op.Name == "inbox.lock" && op.NewFH != "" {
+		if op.Proc == core.ProcCreate && op.Name == "inbox.lock" && op.NewFH != 0 {
 			lockFHs[op.NewFH] = true
 		}
 	}
@@ -306,9 +306,9 @@ func TestCampusZeroLengthLocks(t *testing.T) {
 	for _, op := range ops {
 		if op.Name == "inbox.lock" {
 			switch op.Proc {
-			case "create":
+			case core.ProcCreate:
 				creates++
-			case "remove":
+			case core.ProcRemove:
 				removes++
 			}
 		}
@@ -355,7 +355,7 @@ func TestEECSProcMix(t *testing.T) {
 	ops, _ := generateEECS(t, 2, 1)
 	counts := map[string]int{}
 	for _, op := range ops {
-		counts[op.Proc]++
+		counts[op.Proc.String()]++
 	}
 	// The attribute procedures together dominate.
 	attr := counts["lookup"] + counts["getattr"] + counts["access"]
