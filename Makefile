@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: help build test race bench fuzz cover vet fmt-check check
+.PHONY: help build test race bench fuzz cover vet fmt-check check nfsbench-smoke
 
 help: ## list targets
 	@grep -E '^[a-z-]+:.*##' $(MAKEFILE_LIST) | awk -F':.*## ' '{printf "  %-10s %s\n", $$1, $$2}'
@@ -27,6 +27,10 @@ bench-smoke: ## run the ingest+pipeline benchmarks once (CI regression visibilit
 	$(GO) test -run xxx -bench 'BenchmarkPipelineWorkers' -benchmem -benchtime 3x .
 	$(GO) test -run xxx -bench . -benchmem -benchtime 3x ./internal/pipeline
 	$(GO) test -run xxx -bench 'BenchmarkIngest|BenchmarkUnmarshalRecordBytes|BenchmarkAppendMarshal|BenchmarkInternFH' -benchmem -benchtime 3x ./internal/core
+
+nfsbench-smoke: ## drive the socket stack once with the load harness, closed and open loop (CI regression visibility, not gating)
+	$(GO) run ./cmd/nfsbench -seed 1 -n 5000 -T 2 -c 2 -files 32 -filesize 65536 -interval 0 -json /dev/null
+	$(GO) run ./cmd/nfsbench -seed 1 -n 2000 -T 2 -rate 10000 -files 32 -filesize 65536 -interval 0 -json /dev/null
 
 fuzz: ## run each native fuzz target for 10s
 	$(GO) test -run xxx -fuzz FuzzTextRecord -fuzztime 10s ./internal/core

@@ -20,27 +20,43 @@ import (
 )
 
 func main() {
-	in := flag.String("i", "", "input trace (default stdin)")
-	out := flag.String("o", "", "output trace (default stdout)")
-	seed := flag.Int64("seed", 1, "anonymization seed")
-	omit := flag.Bool("omit", false, "omit names/uids/gids/ips entirely instead of mapping")
-	mapFile := flag.String("mapfile", "", "save (and pre-load, if present) mapping tables here")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "nfsanon:", err)
+		os.Exit(1)
+	}
+}
 
-	var r io.Reader = os.Stdin
+// run is main's logic behind injectable streams, so the cmd tree is
+// testable end to end.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("nfsanon", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("i", "", "input trace (default stdin)")
+	out := fs.String("o", "", "output trace (default stdout)")
+	seed := fs.Int64("seed", 1, "anonymization seed")
+	omit := fs.Bool("omit", false, "omit names/uids/gids/ips entirely instead of mapping")
+	mapFile := fs.String("mapfile", "", "save (and pre-load, if present) mapping tables here")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return err
+	}
+
+	r := stdin
 	if *in != "" {
 		f, err := os.Open(*in)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		r = f
 	}
-	w := os.Stdout
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		w = f
@@ -52,7 +68,8 @@ func main() {
 	if *mapFile != "" {
 		if mf, err := os.Open(*mapFile); err == nil {
 			if err := a.Load(mf); err != nil {
-				fatal(fmt.Errorf("loading %s: %w", *mapFile, err))
+				mf.Close()
+				return fmt.Errorf("loading %s: %w", *mapFile, err)
 			}
 			mf.Close()
 		}
@@ -67,34 +84,31 @@ func main() {
 			break
 		}
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		a.Record(rec)
 		if err := tw.Write(rec); err != nil {
-			fatal(err)
+			return err
 		}
 		n++
 	}
 	if err := tw.Flush(); err != nil {
-		fatal(err)
+		return err
 	}
 
 	if *mapFile != "" {
 		mf, err := os.Create(*mapFile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := a.Save(mf); err != nil {
-			fatal(err)
+			mf.Close()
+			return err
 		}
 		mf.Close()
 	}
 	uids, gids, ips, names, sufs := a.Stats()
-	fmt.Fprintf(os.Stderr, "nfsanon: %d records; mapped %d uids, %d gids, %d ips, %d names, %d suffixes\n",
+	fmt.Fprintf(stderr, "nfsanon: %d records; mapped %d uids, %d gids, %d ips, %d names, %d suffixes\n",
 		n, uids, gids, ips, names, sufs)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "nfsanon:", err)
-	os.Exit(1)
+	return nil
 }

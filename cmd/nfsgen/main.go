@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/client"
@@ -24,38 +25,56 @@ import (
 )
 
 func main() {
-	system := flag.String("system", "campus", "workload to generate: campus or eecs")
-	users := flag.Int("users", 12, "CAMPUS user count")
-	clients := flag.Int("clients", 4, "EECS workstation count")
-	days := flag.Float64("days", 7, "trace window in days (0 = Sunday 00:00)")
-	seed := flag.Int64("seed", 20011021, "random seed")
-	out := flag.String("o", "", "output file (default stdout)")
-	asPcap := flag.Bool("pcap", false, "emit a pcap capture instead of a text trace (slow; use short windows)")
-	asBinary := flag.Bool("binary", false, "emit the compact binary trace format")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "nfsgen:", err)
+		os.Exit(1)
+	}
+}
 
-	w := os.Stdout
+// run is main's logic behind injectable streams, so the cmd tree is
+// testable end to end.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("nfsgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	system := fs.String("system", "campus", "workload to generate: campus or eecs")
+	users := fs.Int("users", 12, "CAMPUS user count")
+	clients := fs.Int("clients", 4, "EECS workstation count")
+	days := fs.Float64("days", 7, "trace window in days (0 = Sunday 00:00)")
+	seed := fs.Int64("seed", 20011021, "random seed")
+	out := fs.String("o", "", "output file (default stdout)")
+	asPcap := fs.Bool("pcap", false, "emit a pcap capture instead of a text trace (slow; use short windows)")
+	asBinary := fs.Bool("binary", false, "emit the compact binary trace format")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return err
+	}
+
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		w = f
 	}
 
 	if *asPcap {
-		if err := generatePcap(w, *system, *users, *clients, *days, *seed); err != nil {
-			fatal(err)
-		}
-		return
+		return generatePcap(w, stderr, *system, *users, *clients, *days, *seed)
 	}
 
 	tw := core.NewFormatWriter(w, *asBinary)
 	var written int64
+	var writeErr error
 	sink := client.FuncSink(func(rec *core.Record, _ int) {
+		if writeErr != nil {
+			return
+		}
 		if err := tw.Write(rec); err != nil {
-			fatal(err)
+			writeErr = err
+			return
 		}
 		written++
 	})
@@ -66,13 +85,17 @@ func main() {
 	case "eecs":
 		workload.NewEECS(workload.DefaultEECSConfig(*clients, *days, *seed), sorter).Run()
 	default:
-		fatal(fmt.Errorf("unknown system %q", *system))
+		return fmt.Errorf("unknown system %q", *system)
 	}
 	sorter.Flush()
-	if err := tw.Flush(); err != nil {
-		fatal(err)
+	if writeErr != nil {
+		return writeErr
 	}
-	fmt.Fprintf(os.Stderr, "nfsgen: wrote %d records\n", written)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "nfsgen: wrote %d records\n", written)
+	return nil
 }
 
 // pcapSink adapts a pcap writer to the client's packet tap. Packets are
@@ -93,16 +116,15 @@ func (s *pcapSink) Packet(t float64, frame []byte) {
 	s.packets = append(s.packets, pkt{t, cp})
 }
 
-func generatePcap(w *os.File, system string, users, clients int, days float64, seed int64) error {
+func generatePcap(w io.Writer, stderr io.Writer, system string, users, clients int, days float64, seed int64) error {
 	records := &client.SliceSink{}
 	ps := &pcapSink{}
 	switch system {
 	case "campus":
 		cfg := workload.DefaultCampusConfig(users, days, seed)
 		gen := workload.NewCampus(cfg, records)
-		for i, cl := range gen.Clients() {
+		for _, cl := range gen.Clients() {
 			cl.EnableWireTap(client.NewWireTap(ps, cl.IP, workload.ServerIPCampus, wire.JumboMTU))
-			_ = i
 		}
 		gen.Run()
 	case "eecs":
@@ -129,7 +151,7 @@ func generatePcap(w *os.File, system string, users, clients int, days float64, s
 	if err := pw.Flush(); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "nfsgen: wrote %d packets (NFSv%d-era capture)\n", pw.Count(), nfs.V3)
+	fmt.Fprintf(stderr, "nfsgen: wrote %d packets (NFSv%d-era capture)\n", pw.Count(), nfs.V3)
 	return nil
 }
 
@@ -142,9 +164,4 @@ func sortPackets(ps []pkt) {
 			j--
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "nfsgen:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,188 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/nfs"
+	"repro/internal/rpc"
+	"repro/internal/wire"
+	"repro/internal/xdr"
+)
+
+// NetServer exposes a Server over real TCP sockets speaking ONC RPC
+// with record marking — the same bytes a kernel NFS/TCP client would
+// put on the wire. Each accepted connection gets a reader goroutine
+// that decodes calls, executes them against the shared Server (whose
+// filesystem is single-threaded, so dispatch is serialized), and
+// writes replies back in call order.
+//
+// This is the load-bearing end of nfsbench and of the loopback
+// integration tests: everything above the TCP socket is the production
+// decode → dispatch → encode path.
+type NetServer struct {
+	srv *Server
+	ln  net.Listener
+
+	// dispatch serializes procedure execution: Server and vfs.FS are
+	// plain single-threaded structures.
+	dispatch sync.Mutex
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	calls  atomic.Int64
+	badRPC atomic.Int64
+}
+
+// Listen starts serving srv on addr ("127.0.0.1:0" if empty) and
+// returns once the listener is bound.
+func Listen(srv *Server, addr string) (*NetServer, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	ns := &NetServer{srv: srv, ln: ln, conns: make(map[net.Conn]struct{})}
+	ns.wg.Add(1)
+	go ns.acceptLoop()
+	return ns, nil
+}
+
+// Addr reports the bound address, e.g. "127.0.0.1:46231".
+func (ns *NetServer) Addr() string { return ns.ln.Addr().String() }
+
+// Calls reports the number of procedures executed.
+func (ns *NetServer) Calls() int64 { return ns.calls.Load() }
+
+// BadRPC reports the number of connections dropped for unparseable RPC.
+func (ns *NetServer) BadRPC() int64 { return ns.badRPC.Load() }
+
+// Close stops accepting, closes every connection, and waits for the
+// per-connection goroutines to drain.
+func (ns *NetServer) Close() error {
+	ns.closed.Store(true)
+	err := ns.ln.Close()
+	ns.connMu.Lock()
+	for conn := range ns.conns {
+		conn.Close()
+	}
+	ns.connMu.Unlock()
+	ns.wg.Wait()
+	return err
+}
+
+func (ns *NetServer) acceptLoop() {
+	defer ns.wg.Done()
+	for {
+		conn, err := ns.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		ns.connMu.Lock()
+		if ns.closed.Load() {
+			ns.connMu.Unlock()
+			conn.Close()
+			return
+		}
+		ns.conns[conn] = struct{}{}
+		ns.connMu.Unlock()
+		ns.wg.Add(1)
+		go ns.serveConn(conn)
+	}
+}
+
+func (ns *NetServer) serveConn(conn net.Conn) {
+	defer ns.wg.Done()
+	defer func() {
+		ns.connMu.Lock()
+		delete(ns.conns, conn)
+		ns.connMu.Unlock()
+		conn.Close()
+	}()
+	rc := wire.NewRecordConn(conn)
+	for {
+		msg, err := rc.ReadRecord()
+		if err != nil {
+			return // EOF or peer gone
+		}
+		reply, err := ns.handle(msg)
+		if err != nil {
+			ns.badRPC.Add(1)
+			return // garbage stream: drop the connection
+		}
+		if err := rc.WriteRecord(reply); err != nil {
+			return
+		}
+	}
+}
+
+// handle executes one RPC call message and returns the encoded reply.
+// A non-nil error means the message was not a well-formed call and the
+// connection cannot be trusted to stay in sync.
+func (ns *NetServer) handle(msg []byte) ([]byte, error) {
+	dec, err := rpc.Decode(msg)
+	if err != nil {
+		return nil, err
+	}
+	if dec.Type != rpc.Call {
+		return nil, fmt.Errorf("server: unexpected reply message on server socket")
+	}
+	h := dec.Call
+	reply := &rpc.ReplyHeader{XID: h.XID, ReplyStat: rpc.MsgAccepted}
+	switch {
+	case h.Program != rpc.ProgramNFS:
+		reply.AcceptStat = rpc.ProgUnavail
+	case h.Version != nfs.V2 && h.Version != nfs.V3:
+		reply.AcceptStat = rpc.ProgMismatch
+	default:
+		args, err := decodeArgs(h.Version, h.Proc, h.Args)
+		if err != nil {
+			reply.AcceptStat = rpc.GarbageArgs
+			break
+		}
+		ns.dispatch.Lock()
+		var res any
+		if h.Version == nfs.V3 {
+			res = ns.srv.HandleV3(h.Proc, args)
+		} else {
+			res = ns.srv.HandleV2(h.Proc, args)
+		}
+		ns.dispatch.Unlock()
+		ns.calls.Add(1)
+		body := xdr.NewEncoder(256)
+		if err := encodeRes(h.Version, h.Proc, body, res); err != nil {
+			reply.AcceptStat = rpc.SystemErr
+			break
+		}
+		reply.AcceptStat = rpc.Success
+		reply.Results = body.Bytes()
+	}
+	e := xdr.NewEncoder(256 + len(reply.Results))
+	rpc.EncodeReply(e, reply)
+	return e.Bytes(), nil
+}
+
+func decodeArgs(version, proc uint32, body []byte) (any, error) {
+	if version == nfs.V3 {
+		return nfs.DecodeArgs3(proc, body)
+	}
+	return nfs.DecodeArgs2(proc, body)
+}
+
+func encodeRes(version, proc uint32, e *xdr.Encoder, res any) error {
+	if res == nil {
+		return nil // NULL and v2 void results
+	}
+	if version == nfs.V3 {
+		return nfs.EncodeRes3(e, proc, res)
+	}
+	return nfs.EncodeRes2(e, proc, res)
+}

@@ -134,6 +134,23 @@ func (h *LogHist) Total() int64 { return h.total }
 // Buckets returns the raw bucket counts; bucket i covers [2^i, 2^(i+1)).
 func (h *LogHist) Buckets() []int64 { return h.buckets }
 
+// Merge folds the observations of other into h, as if every observation
+// added to other had been added to h. Bucket counts merge exactly, which
+// is what lets per-client histograms reduce to a global one.
+func (h *LogHist) Merge(other *LogHist) {
+	if other == nil || other.total == 0 {
+		return
+	}
+	for len(h.buckets) < len(other.buckets) {
+		h.buckets = append(h.buckets, 0)
+	}
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+}
+
 // CumulativeAt reports the fraction of observations with value < 2^i.
 func (h *LogHist) CumulativeAt(i int) float64 {
 	if h.total == 0 {

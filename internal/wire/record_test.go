@@ -1,0 +1,108 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/rpc"
+)
+
+// rwBuffer joins separate read and write buffers into an io.ReadWriter,
+// standing in for the two directions of a socket.
+type rwBuffer struct {
+	r *bytes.Buffer
+	w *bytes.Buffer
+}
+
+func (b *rwBuffer) Read(p []byte) (int, error)  { return b.r.Read(p) }
+func (b *rwBuffer) Write(p []byte) (int, error) { return b.w.Write(p) }
+
+func TestRecordConnRoundTrip(t *testing.T) {
+	var wireBytes bytes.Buffer
+	send := NewRecordConn(&rwBuffer{r: &bytes.Buffer{}, w: &wireBytes})
+	msgs := [][]byte{
+		{},
+		[]byte("x"),
+		bytes.Repeat([]byte("nfs"), 5000),
+	}
+	for _, m := range msgs {
+		if err := send.WriteRecord(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recv := NewRecordConn(&rwBuffer{r: &wireBytes, w: &bytes.Buffer{}})
+	for i, want := range msgs {
+		got, err := recv.ReadRecord()
+		if err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("msg %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if _, err := recv.ReadRecord(); err != io.EOF {
+		t.Fatalf("expected EOF after last record, got %v", err)
+	}
+}
+
+// TestRecordConnFragments checks interoperability with the offline
+// record-marking encoder in internal/rpc: multi-fragment records
+// reassemble to the original message.
+func TestRecordConnFragments(t *testing.T) {
+	msg := bytes.Repeat([]byte("fragmented rpc message "), 40)
+	stream := rpc.MarkRecordFragmented(msg, 7)
+	stream = append(stream, rpc.MarkRecord([]byte("tail"))...)
+	rc := NewRecordConn(&rwBuffer{r: bytes.NewBuffer(stream), w: &bytes.Buffer{}})
+	got, err := rc.ReadRecord()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("reassembled %d bytes, want %d", len(got), len(msg))
+	}
+	tail, err := rc.ReadRecord()
+	if err != nil || string(tail) != "tail" {
+		t.Fatalf("tail record: %q err %v", tail, err)
+	}
+}
+
+// TestRecordConnSymmetry: what WriteRecord emits, rpc.RecordScanner
+// parses — the live and offline framers agree byte for byte.
+func TestRecordConnSymmetry(t *testing.T) {
+	var wireBytes bytes.Buffer
+	send := NewRecordConn(&rwBuffer{r: &bytes.Buffer{}, w: &wireBytes})
+	msg := []byte("one rpc message")
+	if err := send.WriteRecord(msg); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wireBytes.Bytes(), rpc.MarkRecord(msg)) {
+		t.Fatal("WriteRecord framing differs from rpc.MarkRecord")
+	}
+	var sc rpc.RecordScanner
+	sc.Append(wireBytes.Bytes())
+	got, err := sc.Next()
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("scanner got %q err %v", got, err)
+	}
+}
+
+func TestRecordConnLimits(t *testing.T) {
+	// A hostile length prefix must error, not allocate 2GB.
+	evil := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	rc := NewRecordConn(&rwBuffer{r: bytes.NewBuffer(evil), w: &bytes.Buffer{}})
+	if _, err := rc.ReadRecord(); err == nil {
+		t.Fatal("oversized fragment accepted")
+	}
+	// Truncated fragment body → ErrUnexpectedEOF, not silent EOF.
+	trunc := rpc.MarkRecord([]byte("full message"))[:8]
+	rc = NewRecordConn(&rwBuffer{r: bytes.NewBuffer(trunc), w: &bytes.Buffer{}})
+	if _, err := rc.ReadRecord(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated record: got %v, want ErrUnexpectedEOF", err)
+	}
+	// Oversized write rejected.
+	send := NewRecordConn(&rwBuffer{r: &bytes.Buffer{}, w: &bytes.Buffer{}})
+	if err := send.WriteRecord(make([]byte, MaxRecordLen+1)); err == nil {
+		t.Fatal("oversized write accepted")
+	}
+}

@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Zipf draws ranks 0..n-1 with the Zipf-Mandelbrot law P(k) ∝ 1/(v+k)^s,
+// the same parameterization as the SDPaxos/EPaxos benchmark clients
+// (and math/rand.Zipf): s is the skew exponent (s=0 is uniform; the
+// paper-era web/NFS folklore value is s≈1), v ≥ 1 flattens the head.
+//
+// The sampler is an explicit inverse-CDF table: O(n) setup, O(log n)
+// per draw, exactly the stated distribution, and — because the caller
+// supplies the uniform variate — deterministic under any seeded rng and
+// independent of math/rand internals.
+type Zipf struct {
+	cum []float64
+}
+
+// NewZipf builds a sampler over n ranks. It panics on n ≤ 0, s < 0, or
+// v < 1, which are configuration errors.
+func NewZipf(s, v float64, n int) *Zipf {
+	if n <= 0 || s < 0 || v < 1 {
+		panic(fmt.Sprintf("workload: invalid zipf params s=%v v=%v n=%d", s, v, n))
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for k := 0; k < n; k++ {
+		total += math.Pow(v+float64(k), -s)
+		cum[k] = total
+	}
+	for k := range cum {
+		cum[k] /= total
+	}
+	cum[n-1] = 1 // exact despite rounding
+	return &Zipf{cum: cum}
+}
+
+// N reports the number of ranks.
+func (z *Zipf) N() int { return len(z.cum) }
+
+// Rank maps a uniform variate u in [0,1) to a rank: the smallest k with
+// CDF(k) > u. Rank 0 is the most popular.
+func (z *Zipf) Rank(u float64) int {
+	k := sort.Search(len(z.cum), func(i int) bool { return z.cum[i] > u })
+	if k >= len(z.cum) {
+		k = len(z.cum) - 1
+	}
+	return k
+}
+
+// Prob reports the exact probability of rank k, for tests and reports.
+func (z *Zipf) Prob(k int) float64 {
+	if k == 0 {
+		return z.cum[0]
+	}
+	return z.cum[k] - z.cum[k-1]
+}

@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestZipfProbClosedForm checks the rank probabilities against the
+// Zipf-Mandelbrot law directly: P(k) ∝ 1/(v+k)^s.
+func TestZipfProbClosedForm(t *testing.T) {
+	const s, v = 1.2, 1.0
+	const n = 50
+	z := NewZipf(s, v, n)
+	total := 0.0
+	for k := 0; k < n; k++ {
+		total += math.Pow(v+float64(k), -s)
+	}
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		want := math.Pow(v+float64(k), -s) / total
+		if got := z.Prob(k); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Prob(%d) = %v, want %v", k, got, want)
+		}
+		if k > 0 && z.Prob(k) > z.Prob(k-1) {
+			t.Fatalf("Prob not non-increasing at %d", k)
+		}
+		sum += z.Prob(k)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
+
+// TestZipfRankFrequencies samples on an even grid of uniform variates —
+// which makes empirical frequencies deterministic and within 1/N of the
+// exact probabilities — and compares against Prob.
+func TestZipfRankFrequencies(t *testing.T) {
+	z := NewZipf(0.99, 1, 20)
+	const n = 200000
+	counts := make([]int, z.N())
+	for i := 0; i < n; i++ {
+		counts[z.Rank((float64(i)+0.5)/n)]++
+	}
+	for k := 0; k < z.N(); k++ {
+		got := float64(counts[k]) / n
+		if math.Abs(got-z.Prob(k)) > 1.0/n+1e-9 {
+			t.Errorf("rank %d frequency %v, want %v", k, got, z.Prob(k))
+		}
+	}
+}
+
+// TestZipfUniform: s=0 degenerates to the uniform distribution.
+func TestZipfUniform(t *testing.T) {
+	z := NewZipf(0, 1, 10)
+	for k := 0; k < 10; k++ {
+		if math.Abs(z.Prob(k)-0.1) > 1e-12 {
+			t.Fatalf("Prob(%d) = %v, want 0.1", k, z.Prob(k))
+		}
+	}
+}
+
+// TestZipfDeterministic: same seed, same rank sequence.
+func TestZipfDeterministic(t *testing.T) {
+	z := NewZipf(1.5, 2, 1000)
+	a := rand.New(rand.NewSource(42))
+	b := rand.New(rand.NewSource(42))
+	for i := 0; i < 1000; i++ {
+		ra, rb := z.Rank(a.Float64()), z.Rank(b.Float64())
+		if ra != rb {
+			t.Fatalf("draw %d: %d != %d", i, ra, rb)
+		}
+		if ra < 0 || ra >= z.N() {
+			t.Fatalf("rank %d out of range", ra)
+		}
+	}
+	// Boundary variates.
+	if z.Rank(0) != 0 {
+		t.Fatalf("Rank(0) = %d, want 0", z.Rank(0))
+	}
+	if r := z.Rank(math.Nextafter(1, 0)); r != z.N()-1 {
+		t.Fatalf("Rank(1-ε) = %d, want %d", r, z.N()-1)
+	}
+}
