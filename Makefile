@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: help build test race bench fuzz cover vet fmt-check check nfsbench-smoke
+.PHONY: help build test race race-server bench fuzz cover vet fmt-check check nfsbench-smoke
 
 help: ## list targets
 	@grep -E '^[a-z-]+:.*##' $(MAKEFILE_LIST) | awk -F':.*## ' '{printf "  %-10s %s\n", $$1, $$2}'
@@ -13,6 +13,9 @@ test: ## run the full test suite
 
 race: ## run the full test suite under the race detector
 	$(GO) test -race ./...
+
+race-server: ## hammer the concurrent serving stack under -race (torture tests, repeated runs)
+	$(GO) test -race -count=2 -timeout 10m ./internal/vfs ./internal/server ./internal/client ./internal/wire ./cmd/nfsbench
 
 # BENCH_COUNT > 1 emits benchstat-friendly repeated runs:
 #   make bench BENCH_COUNT=10 > new.txt && benchstat old.txt new.txt
@@ -48,4 +51,4 @@ fmt-check: ## fail if any file needs gofmt
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-check: vet build race fmt-check ## everything CI runs
+check: vet build race race-server fmt-check ## everything CI runs

@@ -84,6 +84,7 @@ const (
 	ErrExist       = 17
 	ErrNotDir      = 20
 	ErrIsDir       = 21
+	ErrInval       = 22
 	ErrFBig        = 27
 	ErrNoSpc       = 28
 	ErrRofs        = 30

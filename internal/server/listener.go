@@ -15,9 +15,11 @@ import (
 // NetServer exposes a Server over real TCP sockets speaking ONC RPC
 // with record marking — the same bytes a kernel NFS/TCP client would
 // put on the wire. Each accepted connection gets a reader goroutine
-// that decodes calls, executes them against the shared Server (whose
-// filesystem is single-threaded, so dispatch is serialized), and
-// writes replies back in call order.
+// that decodes calls, executes them against the shared Server, and
+// writes replies back in call order. Dispatch is fully parallel across
+// connections: Server's counters are atomic and vfs.FS carries its own
+// two-level locking, so concurrent procedures serialize only on the
+// inodes they touch.
 //
 // This is the load-bearing end of nfsbench and of the loopback
 // integration tests: everything above the TCP socket is the production
@@ -25,10 +27,6 @@ import (
 type NetServer struct {
 	srv *Server
 	ln  net.Listener
-
-	// dispatch serializes procedure execution: Server and vfs.FS are
-	// plain single-threaded structures.
-	dispatch sync.Mutex
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -148,14 +146,12 @@ func (ns *NetServer) handle(msg []byte) ([]byte, error) {
 			reply.AcceptStat = rpc.GarbageArgs
 			break
 		}
-		ns.dispatch.Lock()
 		var res any
 		if h.Version == nfs.V3 {
 			res = ns.srv.HandleV3(h.Proc, args)
 		} else {
 			res = ns.srv.HandleV2(h.Proc, args)
 		}
-		ns.dispatch.Unlock()
 		ns.calls.Add(1)
 		body := xdr.NewEncoder(256)
 		if err := encodeRes(h.Version, h.Proc, body, res); err != nil {

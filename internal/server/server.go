@@ -8,22 +8,80 @@ package server
 
 import (
 	"errors"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/nfs"
 	"repro/internal/vfs"
 )
 
-// Server executes NFS procedures against a filesystem.
+// Server executes NFS procedures against a filesystem. It is safe for
+// concurrent use: the filesystem carries its own locking and the
+// procedure counters are atomic, so the socket layer dispatches calls
+// from many connections in parallel.
 type Server struct {
 	FS *vfs.FS
 
-	// Ops counts executed procedures by v3-vocabulary name.
-	Ops map[string]int64
+	// ops3/ops2 count executed procedures per protocol version; v2
+	// procedures that delegate to a v3 handler count under the v3
+	// name, as the old shared map did.
+	ops3       [nfs.V3NumProcs]atomic.Int64
+	ops2       [nfs.V2NumProcs]atomic.Int64
+	opsUnknown atomic.Int64
 }
 
 // New wraps a filesystem in a server.
 func New(fs *vfs.FS) *Server {
-	return &Server{FS: fs, Ops: make(map[string]int64)}
+	return &Server{FS: fs}
+}
+
+func (s *Server) countV3(proc uint32) {
+	if proc < nfs.V3NumProcs {
+		s.ops3[proc].Add(1)
+	} else {
+		s.opsUnknown.Add(1)
+	}
+}
+
+func (s *Server) countV2(proc uint32) {
+	if proc < nfs.V2NumProcs {
+		s.ops2[proc].Add(1)
+	} else {
+		s.opsUnknown.Add(1)
+	}
+}
+
+// OpCount reports executions of the named procedure (lower-case
+// nfsdump vocabulary), merging v2 and v3 uses of the same name.
+func (s *Server) OpCount(name string) int64 {
+	var n int64
+	for proc := uint32(0); proc < nfs.V3NumProcs; proc++ {
+		if nfs.ProcName(nfs.V3, proc) == name {
+			n += s.ops3[proc].Load()
+		}
+	}
+	for proc := uint32(0); proc < nfs.V2NumProcs; proc++ {
+		if nfs.ProcName(nfs.V2, proc) == name {
+			n += s.ops2[proc].Load()
+		}
+	}
+	return n
+}
+
+// OpCounts snapshots every non-zero procedure counter by name.
+func (s *Server) OpCounts() map[string]int64 {
+	counts := make(map[string]int64)
+	for proc := uint32(0); proc < nfs.V3NumProcs; proc++ {
+		if n := s.ops3[proc].Load(); n > 0 {
+			counts[nfs.ProcName(nfs.V3, proc)] += n
+		}
+	}
+	for proc := uint32(0); proc < nfs.V2NumProcs; proc++ {
+		if n := s.ops2[proc].Load(); n > 0 {
+			counts[nfs.ProcName(nfs.V2, proc)] += n
+		}
+	}
+	return counts
 }
 
 // errStatus maps vfs errors to NFS status codes.
@@ -47,6 +105,10 @@ func errStatus(err error) uint32 {
 		return nfs.ErrDQuot
 	case errors.Is(err, vfs.ErrNameTooLong):
 		return nfs.ErrNameTooLong
+	case errors.Is(err, vfs.ErrInval):
+		return nfs.ErrInval
+	case errors.Is(err, vfs.ErrTooBig):
+		return nfs.ErrFBig
 	default:
 		return nfs.ErrIO
 	}
@@ -63,7 +125,7 @@ func (s *Server) attrFH(fh nfs.FH) *nfs.Fattr {
 // HandleV3 executes one NFSv3 procedure and returns the matching *Res3
 // struct (nil for NULL).
 func (s *Server) HandleV3(proc uint32, args any) any {
-	s.Ops[nfs.ProcName(nfs.V3, proc)]++
+	s.countV3(proc)
 	switch proc {
 	case nfs.V3Null:
 		return nil
@@ -80,25 +142,16 @@ func (s *Server) HandleV3(proc uint32, args any) any {
 		if err != nil {
 			return &nfs.SetattrRes3{Status: errStatus(err)}
 		}
-		before := &nfs.WccAttr{Size: ino.Size,
-			Mtime: nfs.TimeFromSeconds(ino.Mtime), Ctime: nfs.TimeFromSeconds(ino.Ctime)}
-		if a.Attr.Size != nil {
-			if _, err := s.FS.Truncate(ino.ID, *a.Attr.Size); err != nil {
-				return &nfs.SetattrRes3{Status: errStatus(err),
-					Wcc: &nfs.WccData{Before: before, After: s.FS.Attr(ino)}}
+		before, after, err := s.FS.Setattr(ino.ID, a.Attr.Size, a.Attr.Mode, a.Attr.UID, a.Attr.GID)
+		if err != nil {
+			res := &nfs.SetattrRes3{Status: errStatus(err)}
+			if before != nil {
+				res.Wcc = &nfs.WccData{Before: before, After: after}
 			}
-		}
-		if a.Attr.Mode != nil {
-			ino.Mode = *a.Attr.Mode
-		}
-		if a.Attr.UID != nil {
-			ino.UID = *a.Attr.UID
-		}
-		if a.Attr.GID != nil {
-			ino.GID = *a.Attr.GID
+			return res
 		}
 		return &nfs.SetattrRes3{Status: nfs.OK,
-			Wcc: &nfs.WccData{Before: before, After: s.FS.Attr(ino)}}
+			Wcc: &nfs.WccData{Before: before, After: after}}
 	case nfs.V3Lookup:
 		a := args.(*nfs.LookupArgs3)
 		dir, err := s.FS.GetFH(a.Dir)
@@ -143,9 +196,8 @@ func (s *Server) HandleV3(proc uint32, args any) any {
 		if err != nil {
 			return &nfs.WriteRes3{Status: errStatus(err)}
 		}
-		before := &nfs.WccAttr{Size: ino.Size,
-			Mtime: nfs.TimeFromSeconds(ino.Mtime), Ctime: nfs.TimeFromSeconds(ino.Ctime)}
-		if _, err := s.FS.Write(ino.ID, a.Offset, uint64(a.Count), ino.UID); err != nil {
+		before := s.FS.Wcc(ino)
+		if _, err := s.FS.Write(ino.ID, a.Offset, uint64(a.Count)); err != nil {
 			return &nfs.WriteRes3{Status: errStatus(err),
 				Wcc: &nfs.WccData{Before: before, After: s.FS.Attr(ino)}}
 		}
@@ -293,7 +345,7 @@ func (s *Server) HandleV3(proc uint32, args any) any {
 func (s *Server) HandleV2(proc uint32, args any) any {
 	switch proc {
 	case nfs.V2Null, nfs.V2Root, nfs.V2Writecache:
-		s.Ops[nfs.ProcName(nfs.V2, proc)]++
+		s.countV2(proc)
 		return nil
 	case nfs.V2Getattr:
 		r := s.HandleV3(nfs.V3Getattr, args).(*nfs.GetattrRes3)
@@ -366,24 +418,42 @@ func (s *Server) HandleV2(proc uint32, args any) any {
 	}
 }
 
-// filler is the shared synthetic payload pool; reads slice it rather than
-// allocating per reply. NFS data content never matters to the tracer.
-var filler = func() []byte {
+// filler is the shared synthetic payload pool; reads slice it rather
+// than allocating per reply. NFS data content never matters to the
+// tracer. Growth copies into a fresh slice published atomically, so
+// parallel readers never observe a pool being rewritten under them.
+var (
+	filler   atomic.Pointer[[]byte]
+	fillerMu sync.Mutex
+)
+
+func init() {
 	b := make([]byte, 65536)
 	for i := range b {
 		b[i] = byte('a' + i%26)
 	}
-	return b
-}()
+	filler.Store(&b)
+}
 
 // Filler returns n bytes of synthetic payload (shared storage; callers
-// must not modify it).
+// must not modify it). Safe for concurrent use.
 func Filler(n int) []byte {
 	if n <= 0 {
 		return nil
 	}
-	for n > len(filler) {
-		filler = append(filler, filler...)
+	b := *filler.Load()
+	if n <= len(b) {
+		return b[:n]
 	}
-	return filler[:n]
+	fillerMu.Lock()
+	defer fillerMu.Unlock()
+	b = *filler.Load()
+	for n > len(b) {
+		nb := make([]byte, 2*len(b))
+		copy(nb, b)
+		copy(nb[len(b):], b)
+		b = nb
+	}
+	filler.Store(&b)
+	return b[:n]
 }

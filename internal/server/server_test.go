@@ -209,8 +209,11 @@ func TestOpsCounted(t *testing.T) {
 	s.HandleV3(nfs.V3Getattr, &nfs.GetattrArgs3{FH: s.FS.RootFH()})
 	s.HandleV3(nfs.V3Getattr, &nfs.GetattrArgs3{FH: s.FS.RootFH()})
 	s.HandleV2(nfs.V2Getattr, &nfs.GetattrArgs3{FH: s.FS.RootFH()})
-	if s.Ops["getattr"] != 3 {
-		t.Fatalf("ops = %v", s.Ops)
+	if s.OpCount("getattr") != 3 {
+		t.Fatalf("ops = %v", s.OpCounts())
+	}
+	if counts := s.OpCounts(); counts["getattr"] != 3 {
+		t.Fatalf("ops map = %v", counts)
 	}
 }
 

@@ -80,7 +80,7 @@ func TestDotAndDotDot(t *testing.T) {
 func TestWriteExtendsAndCharges(t *testing.T) {
 	fs := newFS()
 	f, _ := fs.Create(fs.Root(), "mbox", 501, 100, 0644)
-	prev, err := fs.Write(f.ID, 0, 5000, 501)
+	prev, err := fs.Write(f.ID, 0, 5000)
 	if err != nil || prev != 0 {
 		t.Fatalf("write: prev=%d err=%v", prev, err)
 	}
@@ -91,12 +91,12 @@ func TestWriteExtendsAndCharges(t *testing.T) {
 		t.Fatalf("usage = %d, want one block", fs.Usage(501))
 	}
 	// Overwrite within the file: size unchanged.
-	prev, err = fs.Write(f.ID, 1000, 1000, 501)
+	prev, err = fs.Write(f.ID, 1000, 1000)
 	if err != nil || prev != 5000 || f.Size != 5000 {
 		t.Fatalf("overwrite: prev=%d size=%d err=%v", prev, f.Size, err)
 	}
 	// Append extends.
-	if _, err := fs.Write(f.ID, 5000, 20000, 501); err != nil {
+	if _, err := fs.Write(f.ID, 5000, 20000); err != nil {
 		t.Fatal(err)
 	}
 	if f.Size != 25000 {
@@ -111,17 +111,17 @@ func TestQuotaEnforced(t *testing.T) {
 	fs := newFS()
 	fs.QuotaPerUID = 50 << 20 // CAMPUS default: 50MB
 	f, _ := fs.Create(fs.Root(), "big", 501, 100, 0644)
-	if _, err := fs.Write(f.ID, 0, 49<<20, 501); err != nil {
+	if _, err := fs.Write(f.ID, 0, 49<<20); err != nil {
 		t.Fatalf("write under quota: %v", err)
 	}
-	if _, err := fs.Write(f.ID, 49<<20, 2<<20, 501); !errors.Is(err, ErrQuota) {
+	if _, err := fs.Write(f.ID, 49<<20, 2<<20); !errors.Is(err, ErrQuota) {
 		t.Fatalf("write over quota: %v", err)
 	}
 	// Freeing space by truncation allows writing again.
 	if _, err := fs.Truncate(f.ID, 1<<20); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Write(f.ID, 1<<20, 1<<20, 501); err != nil {
+	if _, err := fs.Write(f.ID, 1<<20, 1<<20); err != nil {
 		t.Fatalf("write after truncate: %v", err)
 	}
 }
@@ -129,7 +129,7 @@ func TestQuotaEnforced(t *testing.T) {
 func TestReadSemantics(t *testing.T) {
 	fs := newFS()
 	f, _ := fs.Create(fs.Root(), "f", 0, 0, 0644)
-	fs.Write(f.ID, 0, 10000, 0)
+	fs.Write(f.ID, 0, 10000)
 	n, eof, err := fs.Read(f.ID, 0, 8192)
 	if err != nil || n != 8192 || eof {
 		t.Fatalf("read1: n=%d eof=%v err=%v", n, eof, err)
@@ -147,7 +147,7 @@ func TestReadSemantics(t *testing.T) {
 func TestTruncateLifecycle(t *testing.T) {
 	fs := newFS()
 	f, _ := fs.Create(fs.Root(), "f", 7, 7, 0644)
-	fs.Write(f.ID, 0, 100000, 7)
+	fs.Write(f.ID, 0, 100000)
 	usage := fs.Usage(7)
 	prev, err := fs.Truncate(f.ID, 0)
 	if err != nil || prev != 100000 {
@@ -164,7 +164,7 @@ func TestTruncateLifecycle(t *testing.T) {
 func TestRemoveFreesInode(t *testing.T) {
 	fs := newFS()
 	f, _ := fs.Create(fs.Root(), "scratch", 3, 3, 0644)
-	fs.Write(f.ID, 0, 8192, 3)
+	fs.Write(f.ID, 0, 8192)
 	n := fs.NumInodes()
 	if err := fs.Remove(fs.Root(), "scratch"); err != nil {
 		t.Fatal(err)
@@ -337,7 +337,7 @@ func TestMkdirAllAndPath(t *testing.T) {
 func TestAttrReflectsInode(t *testing.T) {
 	fs := newFS()
 	f, _ := fs.Create(fs.Root(), "f", 42, 43, 0600)
-	fs.Write(f.ID, 0, 12345, 42)
+	fs.Write(f.ID, 0, 12345)
 	a := fs.Attr(f)
 	if a.Size != 12345 || a.UID != 42 || a.GID != 43 || a.Mode != 0600 || a.FileID != f.ID {
 		t.Fatalf("attr: %+v", a)
@@ -351,8 +351,8 @@ func TestTotalBytes(t *testing.T) {
 	fs := newFS()
 	a, _ := fs.Create(fs.Root(), "a", 0, 0, 0644)
 	b, _ := fs.Create(fs.Root(), "b", 0, 0, 0644)
-	fs.Write(a.ID, 0, 100, 0)
-	fs.Write(b.ID, 0, 200, 0)
+	fs.Write(a.ID, 0, 100)
+	fs.Write(b.ID, 0, 200)
 	if got := fs.TotalBytes(); got != 300 {
 		t.Fatalf("total = %d", got)
 	}

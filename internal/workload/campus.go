@@ -158,7 +158,7 @@ func (c *Campus) populate(fs *vfs.FS) {
 				panic(err)
 			}
 			if size > 0 {
-				if _, err := fs.Write(ino.ID, 0, size, uid); err != nil {
+				if _, err := fs.Write(ino.ID, 0, size); err != nil {
 					panic(err)
 				}
 			}
@@ -194,7 +194,7 @@ func (c *Campus) populate(fs *vfs.FS) {
 			if err != nil {
 				panic(err)
 			}
-			fs.Write(ino.ID, 0, uint64(10*1024+c.rng.Int63n(500*1024)), uid)
+			fs.Write(ino.ID, 0, uint64(10*1024+c.rng.Int63n(500*1024)))
 		}
 		c.users = append(c.users, u)
 	}

@@ -185,7 +185,7 @@ func (e *EECS) populateHost(fs *vfs.FS, i int, sink client.Sink) *eecsHost {
 		if err != nil {
 			panic(err)
 		}
-		fs.Write(ino.ID, 0, uint64(2*1024+e.rng.Int63n(60*1024)), uid)
+		fs.Write(ino.ID, 0, uint64(2*1024+e.rng.Int63n(60*1024)))
 		h.srcFiles = append(h.srcFiles, name)
 	}
 
@@ -206,7 +206,7 @@ func (e *EECS) populateHost(fs *vfs.FS, i int, sink client.Sink) *eecsHost {
 	if err != nil {
 		panic(err)
 	}
-	fs.Write(idxIno.ID, 0, 256*1024, uid)
+	fs.Write(idxIno.ID, 0, 256*1024)
 	h.idxFH = nfs.MakeFH(idxIno.ID)
 	h.idxSize = 256 * 1024
 
@@ -219,7 +219,7 @@ func (e *EECS) populateHost(fs *vfs.FS, i int, sink client.Sink) *eecsHost {
 			panic(err)
 		}
 		dsz := uint64(512<<10) + uint64(e.rng.Int63n(3584<<10))
-		fs.Write(dataIno.ID, 0, dsz, uid)
+		fs.Write(dataIno.ID, 0, dsz)
 		h.dataFHs = append(h.dataFHs, nfs.MakeFH(dataIno.ID))
 		h.dataSizes = append(h.dataSizes, dsz)
 	}
@@ -235,7 +235,7 @@ func (e *EECS) populateHost(fs *vfs.FS, i int, sink client.Sink) *eecsHost {
 		if err != nil {
 			panic(err)
 		}
-		fs.Write(ino.ID, 0, uint64(20*1024+e.rng.Int63n(130*1024)), uid)
+		fs.Write(ino.ID, 0, uint64(20*1024+e.rng.Int63n(130*1024)))
 		h.docNames = append(h.docNames, dn)
 	}
 	return h
