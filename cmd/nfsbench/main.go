@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/core"
 	"repro/internal/nfs"
 	"repro/internal/server"
 	"repro/internal/stats"
@@ -71,6 +72,7 @@ type config struct {
 	jsonPath    string
 	maxInflight int
 	rootIno     uint64
+	tracePath   string
 }
 
 // Operation kinds drawn by the workload mix. The metadata class cycles
@@ -120,6 +122,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.StringVar(&cfg.jsonPath, "json", "", "write the JSON report here instead of stdout")
 	fs.IntVar(&cfg.maxInflight, "maxinflight", 256, "open loop: cap on in-flight operations per client")
 	fs.Uint64Var(&cfg.rootIno, "root", 2, "root directory inode number for the exported filesystem")
+	fs.StringVar(&cfg.tracePath, "trace", "", "append a passive text trace of the in-process server's traffic to this file (for nfsmond/nfsanalyze; requires empty -addr)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return nil
@@ -145,12 +148,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// Start the in-process server unless we were pointed at one.
 	addr := cfg.addr
 	if addr == "" {
-		ns, err := server.Listen(server.New(vfs.New()), "127.0.0.1:0")
+		var trace func(*core.Record)
+		if cfg.tracePath != "" {
+			sink, err := newTraceSink(cfg.tracePath)
+			if err != nil {
+				return err
+			}
+			defer sink.Close()
+			trace = sink.Write
+		}
+		ns, err := server.ListenTraced(server.New(vfs.New()), "127.0.0.1:0", trace)
 		if err != nil {
 			return err
 		}
 		defer ns.Close()
 		addr = ns.Addr()
+	} else if cfg.tracePath != "" {
+		return fmt.Errorf("-trace taps the in-process server; it cannot trace an external -addr")
 	}
 
 	// Populate the benchmark namespace through the wire, so external

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// traceSink funnels the in-process server's passive trace tap into an
+// append-only text trace file. The tap runs on per-connection
+// goroutines, so writes serialize on a mutex; each record is flushed
+// immediately so a tailing consumer (cmd/nfsmond) sees it with no
+// buffering delay. That per-record flush caps throughput well below
+// what the server can serve — the tap is for live-monitoring demos and
+// smoke tests, not peak benchmarking.
+type traceSink struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *core.Writer
+}
+
+func newTraceSink(path string) (*traceSink, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &traceSink{f: f, w: core.NewWriter(f)}, nil
+}
+
+func (s *traceSink) Write(r *core.Record) {
+	s.mu.Lock()
+	s.w.Write(r)
+	s.w.Flush()
+	s.mu.Unlock()
+}
+
+func (s *traceSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.w.Flush()
+	return s.f.Close()
+}

@@ -1,0 +1,442 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/window"
+	"repro/internal/workload"
+)
+
+// daemon owns the live engine and everything the endpoints read. The
+// pipeline's Live is single-feeder by contract, so every touch of the
+// joiner, engine, or ring happens under mu: the ingest loop holds it
+// per record, a report handler holds it only long enough to Fork —
+// ingest stalls for the copy, never for the rendering.
+type daemon struct {
+	mu   sync.Mutex
+	j    *pipeline.Joiner
+	lv   *pipeline.Live
+	ring *window.Ring
+
+	slide  int
+	rebase bool
+	base   float64
+	seenT  bool
+
+	records int64
+	procs   [256]int64
+	drained bool
+
+	started    time.Time
+	lastScrape time.Time
+	lastOps    int64
+
+	opsBuf []*core.Op
+}
+
+func newDaemon(cfg pipeline.Config, width float64, keep, slide int, rebase bool, analyzers []pipeline.Analyzer) *daemon {
+	return &daemon{
+		j:       pipeline.NewPushJoiner(),
+		lv:      pipeline.NewLive(cfg, analyzers...),
+		ring:    window.NewRing(width, keep),
+		slide:   slide,
+		rebase:  rebase,
+		started: time.Now(),
+	}
+}
+
+// ingestLoop pulls records until the source ends (EOF on a static file
+// or stdin, Stop on a tail), then drains the joiner so the served
+// state reflects every record read.
+func (d *daemon) ingestLoop(src core.RecordSource) error {
+	for {
+		rec, err := src.Next()
+		if err == io.EOF {
+			d.mu.Lock()
+			d.drain()
+			d.mu.Unlock()
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		d.ingest(rec)
+	}
+}
+
+func (d *daemon) ingest(rec *core.Record) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.rebase {
+		if !d.seenT {
+			d.base = rec.Time
+			d.seenT = true
+		}
+		rec.Time -= d.base
+	}
+	d.records++
+	d.opsBuf = d.j.Push(rec, d.opsBuf[:0])
+	for _, op := range d.opsBuf {
+		d.feed(op)
+	}
+}
+
+func (d *daemon) feed(op *core.Op) {
+	d.lv.Feed(op)
+	d.ring.Add(op)
+	d.procs[op.Proc]++
+}
+
+// drain flushes the joiner's held state into the engine; the caller
+// holds mu.
+func (d *daemon) drain() {
+	if d.drained {
+		return
+	}
+	for _, op := range d.j.Drain(nil) {
+		d.feed(op)
+	}
+	d.drained = true
+}
+
+// joinStats reports the join statistics as if the stream ended now.
+func (d *daemon) joinStats() core.JoinStats {
+	if d.drained {
+		return d.j.Stats()
+	}
+	return d.j.StatsIfDrained()
+}
+
+// report takes a barrier-consistent snapshot and finishes it as if the
+// stream had ended at this instant: the fork is fed the joiner's
+// pending operations (non-destructively), so its results match a batch
+// run over every record ingested so far. Only the Fork and the pending
+// copy happen under mu.
+func (d *daemon) report() (*pipeline.Snapshot, core.JoinStats, pipeline.Stats, error) {
+	d.mu.Lock()
+	snap, err := d.lv.Fork()
+	if err != nil {
+		d.mu.Unlock()
+		return nil, core.JoinStats{}, pipeline.Stats{}, err
+	}
+	var pend []*core.Op
+	if !d.drained {
+		pend = d.j.PendingOps()
+	}
+	join := d.joinStats()
+	d.mu.Unlock()
+
+	for _, op := range pend {
+		snap.Feed(op)
+	}
+	stats := snap.Finish()
+	return snap, join, stats, nil
+}
+
+// finalize drains any remaining joiner state and prints the closing
+// summary, mirroring nfsanalyze's batch output.
+func (d *daemon) finalize(w io.Writer) {
+	d.mu.Lock()
+	d.drain()
+	d.mu.Unlock()
+	snap, join, stats, err := d.report()
+	if err != nil {
+		fmt.Fprintf(w, "nfsmond: final report: %v\n", err)
+		return
+	}
+	if sum := findSummary(snap); sum != nil {
+		sum.Result.Days = daysOf(stats)
+		fmt.Fprintln(w, sum.Result)
+	}
+	fmt.Fprintf(w, "join: %d calls, %d replies, %d unmatched calls, %d orphan replies (loss est %.2f%%)\n",
+		join.Calls, join.Replies, join.UnmatchedCalls, join.OrphanReplies, 100*join.LossEstimate())
+}
+
+func findSummary(snap *pipeline.Snapshot) *pipeline.SummaryAnalyzer {
+	for _, a := range snap.Analyzers {
+		if s, ok := a.(*pipeline.SummaryAnalyzer); ok {
+			return s
+		}
+	}
+	return nil
+}
+
+func daysOf(stats pipeline.Stats) float64 {
+	days := stats.Span() / workload.Day
+	if days <= 0 {
+		days = 1.0 / 24
+	}
+	return days
+}
+
+func (d *daemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", d.serveMetrics)
+	mux.HandleFunc("/api/summary", d.serveSummary)
+	mux.HandleFunc("/api/windows", d.serveWindows)
+	mux.HandleFunc("/api/sliding", d.serveSliding)
+	mux.HandleFunc("/api/analyses", d.serveAnalyses)
+	return mux
+}
+
+// serveMetrics renders the Prometheus-style text exposition. All
+// counters are monotonic over the daemon's life; the lag gauge is
+// bounded by the window width as long as the ring rolls correctly.
+func (d *daemon) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	d.mu.Lock()
+	stats := d.lv.Stats()
+	// Raw joiner stats, not the drained view: counters must stay
+	// monotonic, and a pending call counted as unmatched would un-count
+	// itself when its reply lands. Pending is its own gauge.
+	join := d.j.Stats()
+	pending, held := d.j.Pending(), d.j.Held()
+	lag, late := d.ring.Lag(), d.ring.Late()
+	curStart := d.ring.CurrentStart()
+	records := d.records
+	procs := d.procs
+	now := time.Now()
+	// Ingest rate over the scrape interval (whole uptime on the first
+	// scrape) — a gauge alongside the raw counters.
+	var rate float64
+	since := d.started
+	base := int64(0)
+	if !d.lastScrape.IsZero() {
+		since, base = d.lastScrape, d.lastOps
+	}
+	if dt := now.Sub(since).Seconds(); dt > 0 {
+		rate = float64(stats.Ops-base) / dt
+	}
+	d.lastScrape, d.lastOps = now, stats.Ops
+	uptime := now.Sub(d.started).Seconds()
+	d.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintln(w, "# HELP nfsmond_records_total Trace records ingested.")
+	fmt.Fprintln(w, "# TYPE nfsmond_records_total counter")
+	fmt.Fprintf(w, "nfsmond_records_total %d\n", records)
+	fmt.Fprintln(w, "# HELP nfsmond_ops_total Joined operations fed to the analyzers, by procedure.")
+	fmt.Fprintln(w, "# TYPE nfsmond_ops_total counter")
+	fmt.Fprintf(w, "nfsmond_ops_total %d\n", stats.Ops)
+	var ids []int
+	for id, n := range procs {
+		if n != 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		return core.ProcID(ids[a]).String() < core.ProcID(ids[b]).String()
+	})
+	fmt.Fprintln(w, "# HELP nfsmond_proc_ops_total Joined operations by procedure.")
+	fmt.Fprintln(w, "# TYPE nfsmond_proc_ops_total counter")
+	for _, id := range ids {
+		fmt.Fprintf(w, "nfsmond_proc_ops_total{proc=%q} %d\n", core.ProcID(id).String(), procs[id])
+	}
+	fmt.Fprintln(w, "# HELP nfsmond_join_calls_total RPC calls seen by the joiner.")
+	fmt.Fprintln(w, "# TYPE nfsmond_join_calls_total counter")
+	fmt.Fprintf(w, "nfsmond_join_calls_total %d\n", join.Calls)
+	fmt.Fprintln(w, "# HELP nfsmond_join_replies_total RPC replies seen by the joiner.")
+	fmt.Fprintln(w, "# TYPE nfsmond_join_replies_total counter")
+	fmt.Fprintf(w, "nfsmond_join_replies_total %d\n", join.Replies)
+	fmt.Fprintln(w, "# HELP nfsmond_join_matched_total Call/reply pairs matched.")
+	fmt.Fprintln(w, "# TYPE nfsmond_join_matched_total counter")
+	fmt.Fprintf(w, "nfsmond_join_matched_total %d\n", join.Matched)
+	fmt.Fprintln(w, "# HELP nfsmond_join_unmatched_calls_total Calls expired or drained without replies.")
+	fmt.Fprintln(w, "# TYPE nfsmond_join_unmatched_calls_total counter")
+	fmt.Fprintf(w, "nfsmond_join_unmatched_calls_total %d\n", join.UnmatchedCalls)
+	fmt.Fprintln(w, "# HELP nfsmond_join_orphan_replies_total Replies without calls.")
+	fmt.Fprintln(w, "# TYPE nfsmond_join_orphan_replies_total counter")
+	fmt.Fprintf(w, "nfsmond_join_orphan_replies_total %d\n", join.OrphanReplies)
+	fmt.Fprintln(w, "# HELP nfsmond_join_pending Calls currently awaiting replies.")
+	fmt.Fprintln(w, "# TYPE nfsmond_join_pending gauge")
+	fmt.Fprintf(w, "nfsmond_join_pending %d\n", pending)
+	fmt.Fprintln(w, "# HELP nfsmond_join_held Completed operations held for reordering.")
+	fmt.Fprintln(w, "# TYPE nfsmond_join_held gauge")
+	fmt.Fprintf(w, "nfsmond_join_held %d\n", held)
+	fmt.Fprintln(w, "# HELP nfsmond_window_lag_seconds Stream progress into the current window; bounded by the width.")
+	fmt.Fprintln(w, "# TYPE nfsmond_window_lag_seconds gauge")
+	fmt.Fprintf(w, "nfsmond_window_lag_seconds %g\n", lag)
+	fmt.Fprintln(w, "# HELP nfsmond_window_current_start_seconds Start time of the newest window, in trace seconds.")
+	fmt.Fprintln(w, "# TYPE nfsmond_window_current_start_seconds gauge")
+	fmt.Fprintf(w, "nfsmond_window_current_start_seconds %g\n", curStart)
+	fmt.Fprintln(w, "# HELP nfsmond_window_late_total Operations dropped for arriving past the retained horizon.")
+	fmt.Fprintln(w, "# TYPE nfsmond_window_late_total counter")
+	fmt.Fprintf(w, "nfsmond_window_late_total %d\n", late)
+	fmt.Fprintln(w, "# HELP nfsmond_ingest_ops_per_second Joined-op throughput over the last scrape interval.")
+	fmt.Fprintln(w, "# TYPE nfsmond_ingest_ops_per_second gauge")
+	fmt.Fprintf(w, "nfsmond_ingest_ops_per_second %g\n", rate)
+	fmt.Fprintln(w, "# HELP nfsmond_uptime_seconds Daemon uptime.")
+	fmt.Fprintln(w, "# TYPE nfsmond_uptime_seconds gauge")
+	fmt.Fprintf(w, "nfsmond_uptime_seconds %g\n", uptime)
+}
+
+// summaryJSON flattens a Summary for the wire.
+func summaryJSON(s *analysis.Summary) map[string]any {
+	return map[string]any{
+		"total_ops":     s.TotalOps,
+		"read_ops":      s.ReadOps,
+		"write_ops":     s.WriteOps,
+		"metadata_ops":  s.MetadataOps,
+		"bytes_read":    s.BytesRead,
+		"bytes_written": s.BytesWritten,
+		"rw_byte_ratio": s.ReadWriteByteRatio(),
+		"rw_op_ratio":   s.ReadWriteOpRatio(),
+		"metadata_frac": s.MetadataFraction(),
+		"proc_counts":   s.ProcCounts.ByName(),
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (d *daemon) serveSummary(w http.ResponseWriter, r *http.Request) {
+	snap, join, stats, err := d.report()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	sum := findSummary(snap)
+	sum.Result.Days = daysOf(stats)
+	writeJSON(w, map[string]any{
+		"ops":          stats.Ops,
+		"span_seconds": stats.Span(),
+		"days":         sum.Result.Days,
+		"summary":      summaryJSON(sum.Result),
+		"join": map[string]any{
+			"calls":           join.Calls,
+			"replies":         join.Replies,
+			"matched":         join.Matched,
+			"unmatched_calls": join.UnmatchedCalls,
+			"orphan_replies":  join.OrphanReplies,
+			"loss_estimate":   join.LossEstimate(),
+		},
+	})
+}
+
+func (d *daemon) serveWindows(w http.ResponseWriter, r *http.Request) {
+	d.mu.Lock()
+	cells := d.ring.Cells()
+	width := d.ring.Width()
+	lag := d.ring.Lag()
+	late := d.ring.Late()
+	d.mu.Unlock()
+
+	rows := make([]map[string]any, 0, len(cells))
+	for _, c := range cells {
+		rows = append(rows, map[string]any{
+			"start":         c.Start,
+			"ops":           c.Ops,
+			"read_ops":      c.Sum.ReadOps,
+			"write_ops":     c.Sum.WriteOps,
+			"bytes_read":    c.Sum.BytesRead,
+			"bytes_written": c.Sum.BytesWritten,
+			"metadata_frac": c.Sum.MetadataFraction(),
+		})
+	}
+	writeJSON(w, map[string]any{
+		"width_seconds": width,
+		"lag_seconds":   lag,
+		"late_dropped":  late,
+		"windows":       rows,
+	})
+}
+
+func (d *daemon) serveSliding(w http.ResponseWriter, r *http.Request) {
+	k := d.slide
+	if s := r.URL.Query().Get("k"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			http.Error(w, "k must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		k = n
+	}
+	d.mu.Lock()
+	sum := d.ring.Sliding(k)
+	width := d.ring.Width()
+	d.mu.Unlock()
+	writeJSON(w, map[string]any{
+		"windows":       k,
+		"width_seconds": width,
+		"summary":       summaryJSON(sum),
+	})
+}
+
+// serveAnalyses renders every registered analyzer's table from one
+// consistent snapshot — the paper's tables as JSON, mid-stream.
+func (d *daemon) serveAnalyses(w http.ResponseWriter, r *http.Request) {
+	snap, join, stats, err := d.report()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	out := map[string]any{
+		"ops":          stats.Ops,
+		"span_seconds": stats.Span(),
+		"join_loss":    join.LossEstimate(),
+	}
+	for _, a := range snap.Analyzers {
+		switch a := a.(type) {
+		case *pipeline.SummaryAnalyzer:
+			a.Result.Days = daysOf(stats)
+			out["summary"] = summaryJSON(a.Result)
+		case *pipeline.HierarchyAnalyzer:
+			out["hierarchy"] = map[string]any{"coverage": a.Coverage}
+		case *pipeline.RunsAnalyzer:
+			tab := a.Table()
+			out["runs"] = map[string]any{
+				"total_runs":  tab.TotalRuns,
+				"read_pct":    tab.ReadPct,
+				"write_pct":   tab.WritePct,
+				"read_write":  tab.ReadWritePct,
+				"read_split":  tab.Read,
+				"write_split": tab.Write,
+				"rw_split":    tab.ReadWrite,
+			}
+		case *pipeline.BlockLifeAnalyzer:
+			res := a.Result
+			out["blocklife"] = map[string]any{
+				"births":       res.Births,
+				"deaths":       res.Deaths,
+				"end_surplus":  res.EndSurplusPct(),
+				"lifetime_p50": res.Lifetimes.Percentile(50),
+				"lifetime_p90": res.Lifetimes.Percentile(90),
+			}
+		case *pipeline.ReorderSweepAnalyzer:
+			out["reorder"] = a.Result
+		case *pipeline.PeakHourAnalyzer:
+			out["peak"] = map[string]any{
+				"instances": a.Result.Instances,
+				"locks":     a.Result.Locks,
+				"mailboxes": a.Result.Mailboxes,
+			}
+		case *pipeline.MailboxAnalyzer:
+			frac := 0.0
+			if a.TotalBytes > 0 {
+				frac = float64(a.MailboxBytes) / float64(a.TotalBytes)
+			}
+			out["mailbox"] = map[string]any{
+				"mailbox_bytes": a.MailboxBytes,
+				"total_bytes":   a.TotalBytes,
+				"fraction":      frac,
+			}
+		}
+	}
+	writeJSON(w, out)
+}

@@ -1,0 +1,230 @@
+// nfsmond is the always-on form of nfsanalyze: a monitoring daemon
+// that ingests a live NFS trace, folds it through the same sharded
+// pipeline and joiner the batch tool uses, and serves the paper's
+// reductions over HTTP while the stream is still flowing. Mid-stream
+// consistency comes from the pipeline's snapshot support: every report
+// is a barrier-consistent fork of the analyzers, finished as if the
+// stream had ended at that instant, while ingest continues undisturbed.
+//
+// Sources:
+//
+//   - a growing trace file with tail semantics (-follow): the daemon
+//     keeps reading as the producer appends, surviving rotation and
+//     truncation — point it at the file an nfsbench -trace run (or a
+//     capture sniffer) is writing;
+//   - a static trace file: ingested to EOF, then served until stopped;
+//   - stdin (-i -): a socket feed via any relay, e.g.
+//     `nc -l 9099 | nfsmond -i -`.
+//
+// Endpoints:
+//
+//	/metrics       Prometheus-style text: per-procedure op counters,
+//	               joiner match/orphan/pending, window lag, ingest rate
+//	/api/summary   Table 2 reduction over the whole stream so far
+//	/api/windows   per-window series from the tumbling ring
+//	/api/sliding   the newest k windows merged (?k=, default -slide)
+//	/api/analyses  every registered analyzer's table, one snapshot
+//	/healthz       liveness
+//
+// Usage:
+//
+//	nfsmond -i live.trace -follow -listen 127.0.0.1:9911
+//	nfsbench -trace live.trace -rate 500 -n 100000 &
+//	curl -s 127.0.0.1:9911/metrics | grep nfsmond_window_lag
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+func main() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, stop); err != nil {
+		if err != errUsage {
+			fmt.Fprintln(os.Stderr, "nfsmond:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+var errUsage = errors.New("usage")
+
+type config struct {
+	input    string
+	follow   bool
+	poll     time.Duration
+	listen   string
+	workers  int
+	width    float64
+	keep     int
+	slide    int
+	rebase   bool
+	analyses string
+}
+
+// run is main's logic behind injectable streams and a stop channel, so
+// the daemon is testable end to end without signals.
+func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
+	fs := flag.NewFlagSet("nfsmond", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var cfg config
+	fs.StringVar(&cfg.input, "i", "", "input trace file (\"-\" for stdin; required)")
+	fs.BoolVar(&cfg.follow, "follow", false, "tail the input: keep reading as it grows, surviving rotation")
+	fs.DurationVar(&cfg.poll, "poll", core.DefaultTailPoll, "tail poll interval at EOF (with -follow)")
+	fs.StringVar(&cfg.listen, "listen", "127.0.0.1:9911", "HTTP listen address")
+	fs.IntVar(&cfg.workers, "workers", 0, "pipeline shard count (0 = one per CPU)")
+	fs.Float64Var(&cfg.width, "window", 60, "tumbling window width in seconds")
+	fs.IntVar(&cfg.keep, "keep", 60, "windows retained in the ring")
+	fs.IntVar(&cfg.slide, "slide", 5, "default k for the sliding view")
+	fs.BoolVar(&cfg.rebase, "rebase", false, "rebase record times to the first record (for wall-clock feeds into time-anchored analyses)")
+	fs.StringVar(&cfg.analyses, "analyses", "summary,hierarchy",
+		"comma-separated analyzers to maintain: summary, hierarchy, runs, blocklife, reorder, peak, mailbox, all (runs/reorder state grows with the stream)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return errUsage
+	}
+	if cfg.input == "" {
+		fmt.Fprintln(stderr, "nfsmond: -i is required")
+		return errUsage
+	}
+
+	analyzers, err := buildAnalyzers(cfg.analyses)
+	if err != nil {
+		return err
+	}
+	d := newDaemon(pipeline.Config{Workers: cfg.workers}, cfg.width, cfg.keep, cfg.slide, cfg.rebase, analyzers)
+
+	// Bind before ingest starts so the daemon is scrapeable from the
+	// first record.
+	ln, err := net.Listen("tcp", cfg.listen)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: d.handler()}
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- srv.Serve(ln) }()
+	fmt.Fprintf(stderr, "nfsmond: serving on http://%s\n", ln.Addr())
+
+	src, closeSrc, err := openSource(cfg)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+
+	ingestDone := make(chan error, 1)
+	go func() { ingestDone <- d.ingestLoop(src) }()
+
+	select {
+	case <-stop:
+		// Stop the source; the ingest loop drains what is already
+		// buffered and exits.
+		closeSrc()
+		<-ingestDone
+	case err := <-ingestDone:
+		if err != nil {
+			srv.Close()
+			closeSrc()
+			return err
+		}
+		// Static input fully ingested: keep serving until stopped.
+		fmt.Fprintln(stderr, "nfsmond: input drained; serving final state")
+		<-stop
+		closeSrc()
+	}
+
+	d.finalize(stdout)
+	srv.Close()
+	<-httpDone
+	return nil
+}
+
+// openSource opens the configured record source and returns it with a
+// stopper that unblocks a pending Next.
+func openSource(cfg config) (core.RecordSource, func(), error) {
+	if cfg.input == "-" {
+		return core.NewReader(os.Stdin), func() { os.Stdin.Close() }, nil
+	}
+	if cfg.follow {
+		// tail -F friendliness: the producer may not have created the
+		// file yet, and start order shouldn't matter. An O_APPEND
+		// producer is unaffected by the touch.
+		if f, err := os.OpenFile(cfg.input, os.O_CREATE|os.O_WRONLY, 0o644); err == nil {
+			f.Close()
+		}
+		tr, err := core.NewTailReader(cfg.input, cfg.poll)
+		if err != nil {
+			return nil, nil, err
+		}
+		return tr, tr.Stop, nil
+	}
+	f, err := os.Open(cfg.input)
+	if err != nil {
+		return nil, nil, err
+	}
+	return core.NewReader(f), func() { f.Close() }, nil
+}
+
+// buildAnalyzers resolves the -analyses list. Summary is always first:
+// the windows/summary endpoints and Days fix-up key off it.
+func buildAnalyzers(list string) ([]pipeline.Analyzer, error) {
+	if list == "all" {
+		list = "summary,hierarchy,runs,blocklife,reorder,peak,mailbox"
+	}
+	picked := map[string]bool{}
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name != "" {
+			picked[name] = true
+		}
+	}
+	picked["summary"] = true
+	out := []pipeline.Analyzer{&pipeline.SummaryAnalyzer{}}
+	delete(picked, "summary")
+	for name := range picked {
+		switch name {
+		case "hierarchy", "runs", "blocklife", "reorder", "peak", "mailbox":
+		default:
+			return nil, fmt.Errorf("unknown analysis %q", name)
+		}
+	}
+	// Deterministic registration order regardless of flag order.
+	for _, name := range []string{"hierarchy", "runs", "blocklife", "reorder", "peak", "mailbox"} {
+		if !picked[name] {
+			continue
+		}
+		switch name {
+		case "hierarchy":
+			out = append(out, &pipeline.HierarchyAnalyzer{Warmup: 600})
+		case "runs":
+			out = append(out, &pipeline.RunsAnalyzer{Config: analysis.RunConfig{
+				ReorderWindow: 0.01, IdleGap: 30, JumpBlocks: 10}})
+		case "blocklife":
+			out = append(out, &pipeline.BlockLifeAnalyzer{Phase: workload.Day, Margin: workload.Day})
+		case "reorder":
+			out = append(out, &pipeline.ReorderSweepAnalyzer{WindowsMS: []float64{0, 1, 2, 5, 10, 20, 50}})
+		case "peak":
+			out = append(out, &pipeline.PeakHourAnalyzer{From: 9 * workload.Hour, To: 17 * workload.Hour})
+		case "mailbox":
+			out = append(out, &pipeline.MailboxAnalyzer{})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import "repro/internal/core"
+
+// Snapshot support: every accumulator the pipeline shards can be cloned
+// mid-stream into an independent copy. A clone and its original never
+// share mutable state — after Clone returns, feeding more operations to
+// the original cannot change anything the clone computes, and finishing
+// the clone cannot disturb the original. That independence is what lets
+// cmd/nfsmond serve a consistent view of a window while ingest keeps
+// running, and what the snapshot-equivalence test pins down.
+
+// Clone returns an independent copy of the summary. Every field is a
+// value (ProcCountTable is an array), so a struct copy suffices.
+func (s *Summary) Clone() *Summary {
+	cp := *s
+	return &cp
+}
+
+// Clone returns an independent copy of the series.
+func (h *HourlySeries) Clone() *HourlySeries {
+	return &HourlySeries{
+		Span:       h.Span,
+		Ops:        h.Ops.Clone(),
+		ReadOps:    h.ReadOps.Clone(),
+		WriteOps:   h.WriteOps.Clone(),
+		BytesRead:  h.BytesRead.Clone(),
+		BytesWrite: h.BytesWrite.Clone(),
+	}
+}
+
+// Clone returns an independent copy of the access map. The per-file
+// slices are shared structurally but capped at their current length
+// (three-index slice), so an append to the original past the clone's
+// view reallocates instead of writing into the shared array. This is
+// safe because Access slices are append-only: nothing ever mutates an
+// element in place, and every consumer that sorts (DetectRunsInFiles,
+// SweepFiles) copies first.
+func (m AccessMap) Clone() AccessMap {
+	cp := make(AccessMap, len(m))
+	for fh, accs := range m {
+		cp[fh] = accs[:len(accs):len(accs)]
+	}
+	return cp
+}
+
+// Clone returns an independent copy of the stream, including the
+// per-file birth tables and the lifetime distribution.
+func (s *BlockLifeStream) Clone() *BlockLifeStream {
+	cp := &BlockLifeStream{
+		st: blockLifeState{
+			res:       s.st.res,
+			births:    make(map[core.FH]map[int64]float64, len(s.st.births)),
+			sizes:     make(map[core.FH]uint64, len(s.st.sizes)),
+			names:     make(map[nameBinding]core.FH, len(s.st.names)),
+			phase1End: s.st.phase1End,
+			margin:    s.st.margin,
+		},
+		start: s.start,
+		end:   s.end,
+		done:  s.done,
+	}
+	cp.st.res.Lifetimes = s.st.res.Lifetimes.Clone()
+	for fh, blocks := range s.st.births {
+		b := make(map[int64]float64, len(blocks))
+		for blk, t := range blocks {
+			b[blk] = t
+		}
+		cp.st.births[fh] = b
+	}
+	for fh, size := range s.st.sizes {
+		cp.st.sizes[fh] = size
+	}
+	for k, fh := range s.st.names {
+		cp.st.names[k] = fh
+	}
+	return cp
+}
+
+// Clone returns an independent copy of the instance collector.
+func (p *PeakHourInstances) Clone() *PeakHourInstances {
+	cp := &PeakHourInstances{
+		From: p.From, To: p.To,
+		cat:       make(map[core.FH]NameCategory, len(p.cat)),
+		instances: make(map[core.FH]bool, len(p.instances)),
+	}
+	for fh, c := range p.cat {
+		cp.cat[fh] = c
+	}
+	for fh := range p.instances {
+		cp.instances[fh] = true
+	}
+	return cp
+}
+
+// Clone returns an independent copy of the accumulator.
+func (m *MailboxShare) Clone() *MailboxShare {
+	cp := NewMailboxShare()
+	for fh := range m.mailboxFH {
+		cp.mailboxFH[fh] = true
+	}
+	for fh := range m.big {
+		cp.big[fh] = true
+	}
+	for fh, n := range m.bytes {
+		cp.bytes[fh] = n
+	}
+	return cp
+}
+
+// Clone returns an independent copy of the namespace model, including
+// the running coverage counters.
+func (h *Hierarchy) Clone() *Hierarchy {
+	cp := &Hierarchy{
+		parent:     make(map[core.FH]nameBinding, len(h.parent)),
+		byEdge:     make(map[nameBinding]core.FH, len(h.byEdge)),
+		known:      make(map[core.FH]bool, len(h.known)),
+		resolvable: h.resolvable,
+		total:      h.total,
+	}
+	for fh, e := range h.parent {
+		cp.parent[fh] = e
+	}
+	for e, fh := range h.byEdge {
+		cp.byEdge[e] = fh
+	}
+	for fh := range h.known {
+		cp.known[fh] = true
+	}
+	return cp
+}

@@ -49,6 +49,19 @@ func (a *SummaryAnalyzer) Close() {
 	}
 }
 
+// Fork implements ForkableAnalyzer.
+func (a *SummaryAnalyzer) Fork() (Analyzer, []Accumulator) {
+	f := &SummaryAnalyzer{Days: a.Days}
+	f.parts = make([]*analysis.Summary, len(a.parts))
+	accs := make([]Accumulator, len(a.parts))
+	for i, p := range a.parts {
+		s := p.Clone()
+		f.parts[i] = s
+		accs[i] = funcAcc{s.Add}
+	}
+	return f, accs
+}
+
 // HourlyAnalyzer computes analysis.Hourly over the stream (Table 5,
 // Figure 4). Span must be known up front — hour buckets are fixed at
 // construction.
@@ -78,6 +91,19 @@ func (a *HourlyAnalyzer) Close() {
 	for _, p := range a.parts {
 		a.Result.Merge(p)
 	}
+}
+
+// Fork implements ForkableAnalyzer.
+func (a *HourlyAnalyzer) Fork() (Analyzer, []Accumulator) {
+	f := &HourlyAnalyzer{Span: a.Span}
+	f.parts = make([]*analysis.HourlySeries, len(a.parts))
+	accs := make([]Accumulator, len(a.parts))
+	for i, p := range a.parts {
+		h := p.Clone()
+		f.parts[i] = h
+		accs[i] = funcAcc{h.Add}
+	}
+	return f, accs
 }
 
 // RunsAnalyzer detects access runs (Table 3, Figures 2 and 5). Each
@@ -117,6 +143,19 @@ func (a *RunsAnalyzer) Close() {
 // Table reports Tabulate over the detected runs.
 func (a *RunsAnalyzer) Table() analysis.RunTable { return analysis.Tabulate(a.Result) }
 
+// Fork implements ForkableAnalyzer.
+func (a *RunsAnalyzer) Fork() (Analyzer, []Accumulator) {
+	f := &RunsAnalyzer{Config: a.Config}
+	f.parts = make([]analysis.AccessMap, len(a.parts))
+	accs := make([]Accumulator, len(a.parts))
+	for i, p := range a.parts {
+		m := p.Clone()
+		f.parts[i] = m
+		accs[i] = funcAcc{m.Add}
+	}
+	return f, accs
+}
+
 // BlockLifeAnalyzer runs the create-based block-lifetime analysis
 // (Table 4, Figure 3). Block state is per file, and the router delivers
 // removes and renames to the owning shard, so per-shard streams merge
@@ -148,6 +187,19 @@ func (a *BlockLifeAnalyzer) Close() {
 		results[i] = s.Result()
 	}
 	a.Result = analysis.MergeBlockLife(results...)
+}
+
+// Fork implements ForkableAnalyzer.
+func (a *BlockLifeAnalyzer) Fork() (Analyzer, []Accumulator) {
+	f := &BlockLifeAnalyzer{Start: a.Start, Phase: a.Phase, Margin: a.Margin}
+	f.parts = make([]*analysis.BlockLifeStream, len(a.parts))
+	accs := make([]Accumulator, len(a.parts))
+	for i, p := range a.parts {
+		s := p.Clone()
+		f.parts[i] = s
+		accs[i] = s
+	}
+	return f, accs
 }
 
 // ReorderSweepAnalyzer measures swapped accesses per reorder-window
@@ -187,6 +239,19 @@ func (a *ReorderSweepAnalyzer) Close() {
 	a.Result = analysis.SweepPoints(a.WindowsMS, swaps, total)
 }
 
+// Fork implements ForkableAnalyzer.
+func (a *ReorderSweepAnalyzer) Fork() (Analyzer, []Accumulator) {
+	f := &ReorderSweepAnalyzer{WindowsMS: a.WindowsMS}
+	f.parts = make([]analysis.AccessMap, len(a.parts))
+	accs := make([]Accumulator, len(a.parts))
+	for i, p := range a.parts {
+		m := p.Clone()
+		f.parts[i] = m
+		accs[i] = funcAcc{m.Add}
+	}
+	return f, accs
+}
+
 // PeakHourAnalyzer counts peak-hour file instances by category
 // (Table 1). Instance sets partition by handle, so shard counts sum.
 type PeakHourAnalyzer struct {
@@ -218,6 +283,19 @@ func (a *PeakHourAnalyzer) Close() {
 	a.Result = analysis.MergePeakHour(results...)
 }
 
+// Fork implements ForkableAnalyzer.
+func (a *PeakHourAnalyzer) Fork() (Analyzer, []Accumulator) {
+	f := &PeakHourAnalyzer{From: a.From, To: a.To}
+	f.parts = make([]*analysis.PeakHourInstances, len(a.parts))
+	accs := make([]Accumulator, len(a.parts))
+	for i, p := range a.parts {
+		c := p.Clone()
+		f.parts[i] = c
+		accs[i] = funcAcc{c.Add}
+	}
+	return f, accs
+}
+
 // MailboxAnalyzer computes the mailbox share of data bytes (Table 1).
 type MailboxAnalyzer struct {
 	// MailboxBytes and TotalBytes are valid after the run.
@@ -245,6 +323,19 @@ func (a *MailboxAnalyzer) Close() {
 		results[i] = m.Finish()
 	}
 	a.MailboxBytes, a.TotalBytes = analysis.MergeMailboxShare(results...)
+}
+
+// Fork implements ForkableAnalyzer.
+func (a *MailboxAnalyzer) Fork() (Analyzer, []Accumulator) {
+	f := &MailboxAnalyzer{}
+	f.parts = make([]*analysis.MailboxShare, len(a.parts))
+	accs := make([]Accumulator, len(a.parts))
+	for i, p := range a.parts {
+		m := p.Clone()
+		f.parts[i] = m
+		accs[i] = funcAcc{m.Add}
+	}
+	return f, accs
 }
 
 // HierarchyAnalyzer measures §4.1.1 namespace-reconstruction coverage.
@@ -275,6 +366,22 @@ func (a *HierarchyAnalyzer) Close() {
 	if a.acc != nil && a.acc.total > 0 {
 		a.Coverage = float64(a.acc.resolvable) / float64(a.acc.total)
 	}
+}
+
+// Fork implements ForkableAnalyzer. The forked analyzer is itself a
+// GlobalAnalyzer, so a snapshot continuation feeds it the full ordered
+// stream, exactly as the engine does.
+func (a *HierarchyAnalyzer) Fork() (Analyzer, []Accumulator) {
+	f := &HierarchyAnalyzer{Warmup: a.Warmup}
+	f.acc = &hierarchyAcc{
+		h:          a.acc.h.Clone(),
+		warmup:     a.acc.warmup,
+		started:    a.acc.started,
+		start:      a.acc.start,
+		resolvable: a.acc.resolvable,
+		total:      a.acc.total,
+	}
+	return f, []Accumulator{f.acc}
 }
 
 type hierarchyAcc struct {

@@ -36,7 +36,6 @@ package pipeline
 import (
 	"io"
 	"runtime"
-	"sync"
 
 	"repro/internal/core"
 )
@@ -232,137 +231,24 @@ func (r *router) key(op *core.Op) (fh core.FH, byClient bool) {
 
 // Run streams src through the engine, feeding every analyzer, and
 // returns stream statistics. On a source error the workers are drained
-// and the error returned; analyzer results are then undefined.
+// and the error returned; analyzer results are then undefined. Run is
+// the batch loop over a Live engine, so the offline path and the
+// daemon path (cmd/nfsmond) are the same machinery.
 func Run(cfg Config, src OpSource, analyzers ...Analyzer) (Stats, error) {
-	workers := cfg.workers()
-	batch := cfg.batchSize()
-
-	var sharded []Analyzer
-	var global []Analyzer
-	for _, a := range analyzers {
-		if _, ok := a.(GlobalAnalyzer); ok {
-			global = append(global, a)
-		} else {
-			sharded = append(sharded, a)
-		}
-	}
-
-	// Per-shard accumulator lists, grouped by shard for the hot loop.
-	perShard := make([][]Accumulator, workers)
-	for _, a := range sharded {
-		accs := a.Open(workers)
-		for i, acc := range accs {
-			perShard[i] = append(perShard[i], acc)
-		}
-	}
-
-	var wg sync.WaitGroup
-	shardCh := make([]chan []*core.Op, workers)
-	for w := 0; w < workers; w++ {
-		shardCh[w] = make(chan []*core.Op, 4)
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			accs := perShard[w]
-			for b := range shardCh[w] {
-				for _, op := range b {
-					for _, acc := range accs {
-						acc.Consume(op)
-					}
-				}
-			}
-		}(w)
-	}
-
-	globalCh := make([]chan []*core.Op, len(global))
-	for g, a := range global {
-		globalCh[g] = make(chan []*core.Op, 4)
-		acc := a.Open(1)[0]
-		wg.Add(1)
-		go func(g int, acc Accumulator) {
-			defer wg.Done()
-			for b := range globalCh[g] {
-				for _, op := range b {
-					acc.Consume(op)
-				}
-			}
-		}(g, acc)
-	}
-
-	shutdown := func() {
-		for _, ch := range shardCh {
-			close(ch)
-		}
-		for _, ch := range globalCh {
-			close(ch)
-		}
-		wg.Wait()
-	}
-
-	rt := newRouter(workers)
-	bufs := make([][]*core.Op, workers)
-	var ordered []*core.Op
-	var stats Stats
-
-	flushShard := func(w int) {
-		if len(bufs[w]) > 0 {
-			shardCh[w] <- bufs[w]
-			bufs[w] = nil
-		}
-	}
-	flushOrdered := func() {
-		if len(ordered) > 0 {
-			for _, ch := range globalCh {
-				// One read-only batch shared by every global analyzer.
-				ch <- ordered
-			}
-			ordered = nil
-		}
-	}
-
+	lv := NewLive(cfg, analyzers...)
 	for {
 		op, err := src.Next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			for w := range bufs {
-				bufs[w] = nil
-			}
-			ordered = nil
-			shutdown()
+			stats := lv.Stats()
+			lv.Abort()
 			return stats, err
 		}
-		if stats.Ops == 0 || op.T < stats.MinT {
-			stats.MinT = op.T
-		}
-		if stats.Ops == 0 || op.T > stats.MaxT {
-			stats.MaxT = op.T
-		}
-		stats.Ops++
-
-		w := rt.shard(op)
-		bufs[w] = append(bufs[w], op)
-		if len(bufs[w]) >= batch {
-			flushShard(w)
-		}
-		if len(globalCh) > 0 {
-			ordered = append(ordered, op)
-			if len(ordered) >= batch {
-				flushOrdered()
-			}
-		}
+		lv.Feed(op)
 	}
-	for w := range bufs {
-		flushShard(w)
-	}
-	flushOrdered()
-	shutdown()
-
-	for _, a := range analyzers {
-		a.Close()
-	}
-	return stats, nil
+	return lv.Finish(), nil
 }
 
 // RunSlice runs analyzers over an in-memory op slice; it cannot fail.

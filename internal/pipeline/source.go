@@ -249,6 +249,100 @@ func (j *Joiner) Next() (*core.Op, error) {
 	}
 }
 
+// NewPushJoiner returns a joiner for push-mode use: the caller feeds
+// records with Push and flushes with Drain. Next must not be called on
+// a push-mode joiner (there is no underlying source to pull from).
+func NewPushJoiner() *Joiner {
+	return &Joiner{
+		pending:  make(map[joinKey]pendingCall),
+		pendGone: make(map[pendEntry]bool),
+	}
+}
+
+// Push ingests one record and appends every operation that becomes
+// releasable to out, returning the extended slice. The release order is
+// exactly the order Next would have yielded: Push and Next are the push
+// and pull forms of the same machine. Push must not be called after
+// Drain.
+func (j *Joiner) Push(r *core.Record, out []*core.Op) []*core.Op {
+	j.ingest(r)
+	for j.ready.Len() > 0 && j.ready[0].op.T < j.horizon() {
+		out = append(out, heap.Pop(&j.ready).(readyOp).op)
+	}
+	return out
+}
+
+// Drain ends the stream: the held ready operations and every
+// still-unmatched call surface, appended to out in the order Next would
+// have emitted them after EOF. The joiner is spent afterwards; its
+// Stats are final.
+func (j *Joiner) Drain(out []*core.Op) []*core.Op {
+	if !j.drained {
+		j.drain()
+	}
+	for j.ready.Len() > 0 {
+		out = append(out, heap.Pop(&j.ready).(readyOp).op)
+	}
+	return out
+}
+
+// Pending reports the number of calls still awaiting replies.
+func (j *Joiner) Pending() int { return len(j.pending) }
+
+// StatsIfDrained reports the statistics a drain right now would leave:
+// Stats() with every still-pending call counted as unmatched. It is
+// the JoinStats counterpart of PendingOps and leaves the joiner
+// untouched.
+func (j *Joiner) StatsIfDrained() core.JoinStats {
+	s := j.stats
+	s.UnmatchedCalls += int64(len(j.pending))
+	return s
+}
+
+// Held reports the number of completed operations held for reordering.
+func (j *Joiner) Held() int { return j.ready.Len() }
+
+// PendingOps simulates Drain without disturbing the joiner: it returns
+// the operations an end-of-stream drain would emit right now — the held
+// ready ops merged with the still-unmatched calls surfaced as
+// unreplied operations — in the exact order Drain would yield them.
+// The joiner's state and statistics are unchanged; unmatched calls
+// produce freshly built ops while held ops are returned as is (they are
+// read-only from here on either way). This is what makes a mid-stream
+// snapshot finishable: snapshot the reducers, feed them PendingOps, and
+// the result equals a batch run over every record pushed so far.
+func (j *Joiner) PendingOps() []*core.Op {
+	sim := make(opHeap, j.ready.Len(), j.ready.Len()+len(j.pending))
+	copy(sim, j.ready)
+	unmatched := make([]*core.Record, 0, len(j.pending))
+	for _, pc := range j.pending {
+		unmatched = append(unmatched, pc.rec)
+	}
+	sort.Slice(unmatched, func(a, b int) bool {
+		x, y := unmatched[a], unmatched[b]
+		if x.Time != y.Time {
+			return x.Time < y.Time
+		}
+		if x.Client != y.Client {
+			return x.Client < y.Client
+		}
+		if x.Port != y.Port {
+			return x.Port < y.Port
+		}
+		return x.XID < y.XID
+	})
+	seq := j.seq
+	for _, call := range unmatched {
+		seq++
+		heap.Push(&sim, readyOp{op: core.FromPair(call, nil), seq: seq})
+	}
+	out := make([]*core.Op, 0, sim.Len())
+	for sim.Len() > 0 {
+		out = append(out, heap.Pop(&sim).(readyOp).op)
+	}
+	return out
+}
+
 // readyOp orders completed operations by call time; the completion
 // sequence breaks ties deterministically.
 type readyOp struct {

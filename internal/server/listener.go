@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/core"
 	"repro/internal/nfs"
 	"repro/internal/rpc"
 	"repro/internal/wire"
@@ -28,6 +29,12 @@ type NetServer struct {
 	srv *Server
 	ln  net.Listener
 
+	// trace, when non-nil, receives one call and one reply record per
+	// dispatched NFS procedure (see trace.go). Set at Listen time and
+	// never mutated, so per-connection goroutines read it without
+	// synchronization; the callback itself must be concurrency-safe.
+	trace func(*core.Record)
+
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
@@ -41,6 +48,15 @@ type NetServer struct {
 // Listen starts serving srv on addr ("127.0.0.1:0" if empty) and
 // returns once the listener is bound.
 func Listen(srv *Server, addr string) (*NetServer, error) {
+	return ListenTraced(srv, addr, nil)
+}
+
+// ListenTraced is Listen with a passive trace tap: every dispatched
+// NFS procedure emits a call and a reply record to trace, built the
+// same way the capture sniffer builds them from packets. trace runs on
+// per-connection goroutines and must be safe for concurrent use; nil
+// disables the tap.
+func ListenTraced(srv *Server, addr string, trace func(*core.Record)) (*NetServer, error) {
 	if addr == "" {
 		addr = "127.0.0.1:0"
 	}
@@ -48,7 +64,7 @@ func Listen(srv *Server, addr string) (*NetServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	ns := &NetServer{srv: srv, ln: ln, conns: make(map[net.Conn]struct{})}
+	ns := &NetServer{srv: srv, ln: ln, trace: trace, conns: make(map[net.Conn]struct{})}
 	ns.wg.Add(1)
 	go ns.acceptLoop()
 	return ns, nil
@@ -106,12 +122,16 @@ func (ns *NetServer) serveConn(conn net.Conn) {
 		conn.Close()
 	}()
 	rc := wire.NewRecordConn(conn)
+	var id connID
+	if ns.trace != nil {
+		id = newConnID(conn)
+	}
 	for {
 		msg, err := rc.ReadRecord()
 		if err != nil {
 			return // EOF or peer gone
 		}
-		reply, err := ns.handle(msg)
+		reply, err := ns.handle(msg, id)
 		if err != nil {
 			ns.badRPC.Add(1)
 			return // garbage stream: drop the connection
@@ -125,7 +145,7 @@ func (ns *NetServer) serveConn(conn net.Conn) {
 // handle executes one RPC call message and returns the encoded reply.
 // A non-nil error means the message was not a well-formed call and the
 // connection cannot be trusted to stay in sync.
-func (ns *NetServer) handle(msg []byte) ([]byte, error) {
+func (ns *NetServer) handle(msg []byte, id connID) ([]byte, error) {
 	dec, err := rpc.Decode(msg)
 	if err != nil {
 		return nil, err
@@ -146,6 +166,10 @@ func (ns *NetServer) handle(msg []byte) ([]byte, error) {
 			reply.AcceptStat = rpc.GarbageArgs
 			break
 		}
+		var callRec *core.Record
+		if ns.trace != nil {
+			callRec = traceCall(traceNow(), id, h)
+		}
 		var res any
 		if h.Version == nfs.V3 {
 			res = ns.srv.HandleV3(h.Proc, args)
@@ -160,6 +184,15 @@ func (ns *NetServer) handle(msg []byte) ([]byte, error) {
 		}
 		reply.AcceptStat = rpc.Success
 		reply.Results = body.Bytes()
+		// The tap emits the pair together so no call ever surfaces
+		// without its reply (an unmatched call would read as packet
+		// loss to the analyses).
+		if callRec != nil {
+			ns.trace(callRec)
+			if rr := traceReply(traceNow(), id, h, reply.Results); rr != nil {
+				ns.trace(rr)
+			}
+		}
 	}
 	e := xdr.NewEncoder(256 + len(reply.Results))
 	rpc.EncodeReply(e, reply)

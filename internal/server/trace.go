@@ -1,0 +1,112 @@
+package server
+
+import (
+	"encoding/binary"
+	"net"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nfs"
+	"repro/internal/rpc"
+)
+
+// Passive trace tap: when a NetServer is given a trace callback, every
+// successfully dispatched NFS procedure emits one call record and one
+// reply record, built exactly the way internal/capture builds them from
+// sniffed packets — same semantic parse (nfs.ParseCall/ParseReply over
+// the raw XDR bodies), same interning, same field conventions. The
+// server is its own mirror port: nfsbench traffic becomes a live trace
+// that cmd/nfsmond can tail, reproducing the paper's passive-tracing
+// deployment shape without a pcap in the loop.
+//
+// The callback runs on per-connection goroutines, so it must be safe
+// for concurrent use. Record times are wall-clock Unix seconds; reply
+// times are taken after the procedure executes, so call/reply pairs are
+// ordered and carry the real service latency. Records from different
+// connections may interleave slightly out of time order (each
+// goroutine stamps then emits); the Joiner's matching is key-based and
+// tolerates that jitter.
+
+// connID caches one connection's endpoints in record terms.
+type connID struct {
+	client, server uint32
+	port           uint16
+}
+
+func newConnID(conn net.Conn) connID {
+	c, p := addrIPPort(conn.RemoteAddr())
+	s, _ := addrIPPort(conn.LocalAddr())
+	return connID{client: c, server: s, port: p}
+}
+
+// addrIPPort extracts a host-order IPv4 and port from a net.Addr;
+// non-TCP or non-IPv4 addresses yield zero (records still join — the
+// key is (client, port, xid) and stays consistent per connection).
+func addrIPPort(a net.Addr) (uint32, uint16) {
+	ta, ok := a.(*net.TCPAddr)
+	if !ok {
+		return 0, 0
+	}
+	ip4 := ta.IP.To4()
+	if ip4 == nil {
+		return 0, uint16(ta.Port)
+	}
+	return binary.BigEndian.Uint32(ip4), uint16(ta.Port)
+}
+
+// traceNow stamps a record with wall-clock seconds.
+func traceNow() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+
+// traceCall builds the call record for one decoded RPC call, mirroring
+// capture.handleMessage. It returns nil when the call body does not
+// parse (the dispatch path already rejected it).
+func traceCall(t float64, id connID, h *rpc.CallHeader) *core.Record {
+	info, err := nfs.ParseCall(h.Version, h.Proc, h.Args)
+	if err != nil {
+		return nil
+	}
+	rec := &core.Record{
+		Time: t, Kind: core.KindCall,
+		Client: id.client, Port: id.port,
+		Server: id.server, Proto: core.ProtoTCP,
+		XID: h.XID, Version: h.Version, Proc: core.MustProc(info.Name),
+		FH: core.InternFH(info.FH.String()), Name: info.FName,
+		FH2: core.InternFH(info.FH2.String()), Name2: info.FName2,
+		Offset: info.Offset, Count: info.Count, Stable: info.Stable,
+	}
+	if info.SetSize != nil {
+		rec.SetSize, rec.HasSet = *info.SetSize, true
+	}
+	if h.Cred.Flavor == rpc.AuthSys {
+		if auth, err := rpc.DecodeAuthSys(h.Cred.Body); err == nil {
+			rec.UID, rec.GID = auth.UID, auth.GID
+		}
+	}
+	return rec
+}
+
+// traceReply builds the reply record for one encoded result body,
+// mirroring capture.handleMessage's reply path.
+func traceReply(t float64, id connID, h *rpc.CallHeader, results []byte) *core.Record {
+	info, err := nfs.ParseReply(h.Version, h.Proc, results)
+	if err != nil {
+		return nil
+	}
+	rec := &core.Record{
+		Time: t, Kind: core.KindReply,
+		Client: id.client, Port: id.port,
+		Server: id.server, Proto: core.ProtoTCP,
+		XID: h.XID, Version: h.Version, Proc: core.MustProc(info.Name),
+		Status: info.Status, RCount: info.Count, EOF: info.EOF,
+		NewFH: core.InternFH(info.NewFH.String()),
+	}
+	if info.Attr != nil {
+		rec.Size = info.Attr.Size
+		rec.FileID = info.Attr.FileID
+		rec.Mtime = info.Attr.Mtime.Seconds()
+	}
+	if info.Pre != nil {
+		rec.PreSize, rec.HasPre = info.Pre.Size, true
+	}
+	return rec
+}

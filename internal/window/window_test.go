@@ -1,0 +1,125 @@
+package window
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func wop(t float64, proc core.ProcID, bytes uint32) *core.Op {
+	return &core.Op{T: t, Proc: proc, Replied: true, RCount: bytes, Count: bytes, FH: 1}
+}
+
+func readOp(t float64) *core.Op  { return wop(t, core.ProcRead, 8192) }
+func writeOp(t float64) *core.Op { return wop(t, core.ProcWrite, 4096) }
+
+func TestRingTumbling(t *testing.T) {
+	r := NewRing(10, 4)
+	// Two windows: [10,20) and [20,30).
+	r.Add(readOp(12))
+	r.Add(writeOp(15))
+	r.Add(readOp(23))
+
+	cells := r.Cells()
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(cells))
+	}
+	if cells[0].Start != 10 || cells[1].Start != 20 {
+		t.Fatalf("cell starts = %v, %v; want 10, 20", cells[0].Start, cells[1].Start)
+	}
+	if cells[0].Ops != 2 || cells[1].Ops != 1 {
+		t.Fatalf("cell ops = %d, %d; want 2, 1", cells[0].Ops, cells[1].Ops)
+	}
+	if cells[0].Sum.ReadOps != 1 || cells[0].Sum.WriteOps != 1 {
+		t.Fatalf("window 1 mix = %d reads %d writes", cells[0].Sum.ReadOps, cells[0].Sum.WriteOps)
+	}
+}
+
+func TestRingWindowAnchoring(t *testing.T) {
+	// Windows anchor at multiples of the width, not at the first op.
+	r := NewRing(60, 4)
+	r.Add(readOp(119)) // window [60,120)
+	r.Add(readOp(121)) // window [120,180)
+	cells := r.Cells()
+	if len(cells) != 2 || cells[0].Start != 60 || cells[1].Start != 120 {
+		t.Fatalf("cells = %+v; want starts 60 and 120", cells)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRing(10, 2)
+	r.Add(readOp(5))  // [0,10)
+	r.Add(readOp(15)) // [10,20)
+	r.Add(readOp(25)) // [20,30) — evicts [0,10)
+	cells := r.Cells()
+	if len(cells) != 2 || cells[0].Start != 10 || cells[1].Start != 20 {
+		t.Fatalf("cells = %+v; want starts 10 and 20", cells)
+	}
+	// A straggler for the evicted window is dropped and counted.
+	r.Add(readOp(7))
+	if r.Late() != 1 {
+		t.Fatalf("Late() = %d, want 1", r.Late())
+	}
+	// A straggler within retention still lands.
+	r.Add(writeOp(14))
+	cells = r.Cells()
+	if cells[0].Sum.WriteOps != 1 {
+		t.Fatalf("retained straggler missing: %+v", cells[0].Sum)
+	}
+}
+
+func TestRingSkipsEmptyWindows(t *testing.T) {
+	r := NewRing(10, 8)
+	r.Add(readOp(5))
+	r.Add(readOp(75)) // skips six windows
+	cells := r.Cells()
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells, want 2 (empty windows omitted)", len(cells))
+	}
+	if cells[0].Start != 0 || cells[1].Start != 70 {
+		t.Fatalf("cells = %+v", cells)
+	}
+}
+
+func TestRingSliding(t *testing.T) {
+	r := NewRing(10, 4)
+	for i := 0; i < 4; i++ {
+		r.Add(readOp(float64(i*10) + 5))
+		r.Add(writeOp(float64(i*10) + 6))
+	}
+	// Last 2 windows: 2 reads, 2 writes.
+	s := r.Sliding(2)
+	if s.ReadOps != 2 || s.WriteOps != 2 {
+		t.Fatalf("sliding(2) = %d reads %d writes; want 2/2", s.ReadOps, s.WriteOps)
+	}
+	all := r.Sliding(99) // clamped to keep
+	if all.TotalOps != 8 {
+		t.Fatalf("sliding(all) total = %d, want 8", all.TotalOps)
+	}
+}
+
+func TestRingLagBounded(t *testing.T) {
+	r := NewRing(10, 4)
+	if r.Lag() != 0 {
+		t.Fatalf("empty ring lag = %v", r.Lag())
+	}
+	for _, tm := range []float64{3, 9.5, 10.2, 17, 29.9, 30, 41} {
+		r.Add(readOp(tm))
+		if lag := r.Lag(); lag < 0 || lag >= r.Width() {
+			t.Fatalf("lag %v out of [0, width) after op at t=%v", lag, tm)
+		}
+	}
+	if r.Lag() != 1 {
+		t.Fatalf("lag = %v, want 1 (last op 41, window start 40)", r.Lag())
+	}
+}
+
+func TestRingCellsAreIndependent(t *testing.T) {
+	r := NewRing(10, 4)
+	r.Add(readOp(5))
+	cells := r.Cells()
+	r.Add(readOp(6))
+	if cells[0].Sum.TotalOps != 1 {
+		t.Fatalf("served cell mutated by later Add: %d ops", cells[0].Sum.TotalOps)
+	}
+}

@@ -1,0 +1,216 @@
+// covercheck enforces the committed coverage floor. It parses a Go
+// coverage profile, computes statement coverage per package and in
+// total, prints the delta against the baseline, and exits nonzero if
+// any floored package (or the total) fell below its floor.
+//
+// The baseline file holds one "import/path floor%" line per package
+// plus a "total" line; packages absent from the baseline are reported
+// but not gated, so new packages don't fail CI until a floor is
+// committed for them. Regenerate with -write after a deliberate
+// coverage change:
+//
+//	go test -coverprofile=cover.out ./...
+//	go run ./tools/covercheck -profile cover.out -baseline scripts/coverage_baseline.txt -write
+//
+// -write sets each floor a small margin below the measured value, so
+// ordinary run-to-run jitter doesn't trip the gate.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "covercheck:", err)
+		os.Exit(1)
+	}
+}
+
+type pkgCov struct {
+	total   int
+	covered int
+}
+
+func (p pkgCov) pct() float64 {
+	if p.total == 0 {
+		return 0
+	}
+	return 100 * float64(p.covered) / float64(p.total)
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("covercheck", flag.ContinueOnError)
+	profile := fs.String("profile", "cover.out", "coverage profile from go test -coverprofile")
+	baseline := fs.String("baseline", "scripts/coverage_baseline.txt", "committed floor file")
+	write := fs.Bool("write", false, "regenerate the baseline from the profile instead of checking")
+	margin := fs.Float64("margin", 2.0, "percentage points subtracted from measured coverage when writing floors")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	pkgs, err := parseProfile(*profile)
+	if err != nil {
+		return err
+	}
+	if *write {
+		return writeBaseline(*baseline, pkgs, *margin)
+	}
+	floors, err := readBaseline(*baseline)
+	if err != nil {
+		return err
+	}
+	return check(pkgs, floors)
+}
+
+// parseProfile reads a coverage profile and aggregates statement
+// counts by package (the directory of each file entry).
+func parseProfile(file string) (map[string]pkgCov, error) {
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	pkgs := make(map[string]pkgCov)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "mode:") || line == "" {
+			continue
+		}
+		// file.go:sl.sc,el.ec numStmts hitCount
+		colon := strings.LastIndexByte(line, ':')
+		if colon < 0 {
+			return nil, fmt.Errorf("malformed profile line: %q", line)
+		}
+		fields := strings.Fields(line[colon+1:])
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("malformed profile line: %q", line)
+		}
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("malformed statement count in %q", line)
+		}
+		hits, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("malformed hit count in %q", line)
+		}
+		pkg := path.Dir(line[:colon])
+		c := pkgs[pkg]
+		c.total += stmts
+		if hits > 0 {
+			c.covered += stmts
+		}
+		pkgs[pkg] = c
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("%s: no coverage entries", file)
+	}
+	return pkgs, nil
+}
+
+func totalOf(pkgs map[string]pkgCov) pkgCov {
+	var t pkgCov
+	for _, c := range pkgs {
+		t.total += c.total
+		t.covered += c.covered
+	}
+	return t
+}
+
+func sortedNames(pkgs map[string]pkgCov) []string {
+	names := make([]string, 0, len(pkgs))
+	for name := range pkgs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func writeBaseline(path string, pkgs map[string]pkgCov, margin float64) error {
+	var sb strings.Builder
+	sb.WriteString("# Coverage floors, enforced by tools/covercheck in CI.\n")
+	sb.WriteString("# Regenerate: go test -coverprofile=cover.out ./... && go run ./tools/covercheck -profile cover.out -baseline scripts/coverage_baseline.txt -write\n")
+	for _, name := range sortedNames(pkgs) {
+		floor := pkgs[name].pct() - margin
+		if floor < 0 {
+			floor = 0
+		}
+		fmt.Fprintf(&sb, "%s %.1f\n", name, floor)
+	}
+	floor := totalOf(pkgs).pct() - margin
+	if floor < 0 {
+		floor = 0
+	}
+	fmt.Fprintf(&sb, "total %.1f\n", floor)
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}
+
+func readBaseline(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	floors := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("malformed baseline line: %q", line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("malformed floor in %q", line)
+		}
+		floors[fields[0]] = v
+	}
+	return floors, sc.Err()
+}
+
+func check(pkgs map[string]pkgCov, floors map[string]float64) error {
+	failed := false
+	for _, name := range sortedNames(pkgs) {
+		got := pkgs[name].pct()
+		floor, gated := floors[name]
+		switch {
+		case !gated:
+			fmt.Printf("%-40s %6.1f%%  (no floor committed)\n", name, got)
+		case got < floor:
+			fmt.Printf("%-40s %6.1f%%  BELOW floor %.1f%% (%+.1f)\n", name, got, floor, got-floor)
+			failed = true
+		default:
+			fmt.Printf("%-40s %6.1f%%  floor %.1f%% (%+.1f)\n", name, got, floor, got-floor)
+		}
+	}
+	tot := totalOf(pkgs).pct()
+	if floor, ok := floors["total"]; ok {
+		delta := tot - floor
+		status := "ok"
+		if tot < floor {
+			status = "BELOW"
+			failed = true
+		}
+		fmt.Printf("%-40s %6.1f%%  floor %.1f%% (%+.1f) %s\n", "total", tot, floor, delta, status)
+	} else {
+		fmt.Printf("%-40s %6.1f%%\n", "total", tot)
+	}
+	if failed {
+		return fmt.Errorf("coverage fell below the committed floor")
+	}
+	return nil
+}
