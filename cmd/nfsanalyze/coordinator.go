@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/pipeline"
+)
+
+// Coordinator mode: fan the trace set's files across worker processes,
+// each running `nfsanalyze -partial`, then merge the resulting states
+// and render — byte-identical to one process reading everything.
+// Order-independent analyses run their workers in parallel and merge
+// independent states; order-dependent ones (blocklife, hierarchy,
+// names) run as a sequential resume chain, still isolating each piece
+// in its own process (memory isolation and checkpointing rather than
+// parallelism).
+
+// coordConfig carries everything runCoordinator needs.
+type coordConfig struct {
+	spec     *analysisSpec
+	paths    []string
+	workers  int
+	decoders int
+	opt      analysisOptions
+}
+
+// partitionFiles cuts paths into at most n contiguous groups of
+// near-equal byte size (contiguous so a lexically sorted set of daily
+// files stays in time order for the chained analyses). Every group
+// gets at least one file.
+func partitionFiles(paths []string, n int) [][]string {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > len(paths) {
+		n = len(paths)
+	}
+	sizes := make([]int64, len(paths))
+	var total int64
+	for i, p := range paths {
+		if st, err := os.Stat(p); err == nil {
+			sizes[i] = st.Size()
+		}
+		total += sizes[i]
+	}
+	groups := make([][]string, 1, n)
+	var cum int64
+	gi := 0
+	for i, p := range paths {
+		remFiles := len(paths) - i
+		remGroups := n - gi
+		if len(groups[gi]) > 0 && gi < n-1 &&
+			(cum >= (int64(gi)+1)*total/int64(n) || remFiles == remGroups) {
+			groups = append(groups, nil)
+			gi++
+		}
+		groups[gi] = append(groups[gi], p)
+		cum += sizes[i]
+	}
+	return groups
+}
+
+// runCoordinator partitions cc.paths across worker processes, collects
+// their partial states, merges, and renders.
+func runCoordinator(cc coordConfig, stdout, stderr io.Writer) error {
+	groups := partitionFiles(cc.paths, cc.workers)
+	seq := false
+	for _, a := range cc.spec.analyzers {
+		if pipeline.IsSequential(a) {
+			seq = true
+		}
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("coordinator: locating own binary: %w", err)
+	}
+	dir, err := os.MkdirTemp("", "nfsanalyze-coord-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	fmt.Fprintf(stderr, "nfsanalyze: coordinator: %d workers over %d files\n", len(groups), len(cc.paths))
+
+	stateFiles := make([]string, len(groups))
+	for i := range groups {
+		stateFiles[i] = filepath.Join(dir, fmt.Sprintf("piece-%03d.state", i))
+	}
+	workerArgs := func(i int) []string {
+		args := []string{
+			"-analysis", cc.spec.kind,
+			"-window", fmt.Sprint(cc.opt.window),
+			"-k", fmt.Sprint(cc.opt.jump),
+			"-start", fmt.Sprint(cc.opt.start),
+			"-phase", fmt.Sprint(cc.opt.phase),
+			"-margin", fmt.Sprint(cc.opt.margin),
+			"-decoders", fmt.Sprint(cc.decoders),
+			"-partial", stateFiles[i],
+		}
+		if seq && i > 0 {
+			args = append(args, "-resume", stateFiles[i-1])
+		}
+		return append(args, groups[i]...)
+	}
+
+	if seq && len(groups) > 1 {
+		for i := range groups {
+			if err := runWorker(exe, i, workerArgs(i), groups[i], stderr); err != nil {
+				return err
+			}
+		}
+	} else {
+		errs := make([]error, len(groups))
+		var wg sync.WaitGroup
+		for i := range groups {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = runWorker(exe, i, workerArgs(i), groups[i], stderr)
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+	}
+
+	partials := make([]*pipeline.Partial, len(stateFiles))
+	for i, path := range stateFiles {
+		p, err := readPartialFile(path, cc.spec.kind)
+		if err != nil {
+			return fmt.Errorf("coordinator: worker %d state: %w", i, err)
+		}
+		partials[i] = p
+	}
+	stats, join, err := pipeline.MergePartials(cc.spec.analyzers, partials)
+	if err != nil {
+		return err
+	}
+	cc.spec.render(stdout, stats, join)
+	return nil
+}
+
+// runWorker spawns one `nfsanalyze -partial` child, retrying once on
+// failure (a transient crash re-analyzes its files; state files are
+// deterministic, so a retry is safe).
+func runWorker(exe string, idx int, args, files []string, stderr io.Writer) error {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		var errBuf bytes.Buffer
+		cmd := exec.Command(exe, args...)
+		cmd.Env = append(os.Environ(), "NFSANALYZE_WORKER=1")
+		cmd.Stdout = io.Discard
+		cmd.Stderr = &errBuf
+		err := cmd.Run()
+		if err == nil {
+			return nil
+		}
+		lastErr = fmt.Errorf("coordinator: worker %d (files %s) failed: %v\n%s",
+			idx, strings.Join(files, ", "), err, strings.TrimSpace(errBuf.String()))
+		if attempt == 0 {
+			fmt.Fprintf(stderr, "nfsanalyze: coordinator: worker %d failed, retrying: %v\n", idx, err)
+		}
+	}
+	return lastErr
+}

@@ -8,13 +8,20 @@
 // Records stream through the sharded pipeline: each file is decoded by
 // -decoders parallel goroutines, calls and replies are joined
 // incrementally, and the analysis reducers run across -workers shards.
-// Memory depends on the reducer, not the record count: summary and
-// hierarchy hold constant-size state, blocklife holds live-block
-// state, while runs and reorder accumulate one entry per data access
-// (run detection needs each file's full access list). The hourly and
-// names analyses need the whole trace (the hour-bucket span and the
-// file-instance window are only known at the end), so they materialize
-// first.
+// Memory depends on the reducer, not the record count: summary,
+// hierarchy, and names hold per-file or constant-size state, blocklife
+// holds live-block state, while runs and reorder accumulate one entry
+// per data access (run detection needs each file's full access list).
+//
+// Every analysis can also run distributed. -partial serializes the
+// reducers' mid-stream state to a file instead of rendering tables;
+// -resume seeds a run from such a file (checkpoint/resume, or chaining
+// consecutive trace pieces); -merge combines state files and renders
+// the tables, byte-identical to one run over everything; -coordinator
+// does all of that in one command, fanning the trace set's files across
+// -workers child processes. Order-dependent analyses (blocklife,
+// hierarchy, names) distribute as a resume chain; the rest merge
+// independently computed states.
 //
 // Usage:
 //
@@ -24,6 +31,9 @@
 //	nfsanalyze -analysis summary 'week/day*.trace.gz'
 //	nfsanalyze -analysis hourly traces/
 //	nfsanalyze -i campus.trace -analysis summary -workers 8 -decoders 4
+//	nfsanalyze -i day1.trace -analysis summary -partial day1.state
+//	nfsanalyze -analysis summary -merge day1.state day2.state
+//	nfsanalyze -analysis summary -coordinator -workers 8 traces/
 package main
 
 import (
@@ -54,6 +64,129 @@ func main() {
 // to stderr, so main exits nonzero without printing it again.
 var errUsage = errors.New("usage")
 
+// analysisOptions carries the per-analysis tuning flags; the
+// coordinator propagates them verbatim to its workers.
+type analysisOptions struct {
+	window float64
+	jump   int64
+	start  float64
+	phase  float64
+	margin float64
+}
+
+// analysisSpec is one -analysis kind made concrete: the pipeline
+// analyzers to run and how to render their results. Every mode — plain
+// run, resumed run, merged states, coordinator — renders through the
+// same closure, which is what keeps their outputs byte-identical.
+type analysisSpec struct {
+	kind      string
+	analyzers []pipeline.Analyzer
+	render    func(w io.Writer, stats pipeline.Stats, join core.JoinStats)
+}
+
+// buildAnalysis constructs the spec for one -analysis kind.
+func buildAnalysis(kind string, opt analysisOptions) (*analysisSpec, error) {
+	spec := &analysisSpec{kind: kind}
+	switch kind {
+	case "summary":
+		sum := &pipeline.SummaryAnalyzer{}
+		spec.analyzers = []pipeline.Analyzer{sum}
+		spec.render = func(w io.Writer, stats pipeline.Stats, join core.JoinStats) {
+			days := stats.Span() / workload.Day
+			if days <= 0 {
+				days = 1.0 / 24
+			}
+			sum.Result.Days = days
+			fmt.Fprintln(w, sum.Result)
+			fmt.Fprintf(w, "join: %d calls, %d replies, %d unmatched calls, %d orphan replies (loss est %.2f%%)\n",
+				join.Calls, join.Replies, join.UnmatchedCalls, join.OrphanReplies, 100*join.LossEstimate())
+		}
+	case "runs":
+		ra := &pipeline.RunsAnalyzer{Config: analysis.RunConfig{
+			ReorderWindow: opt.window / 1000, IdleGap: 30, JumpBlocks: opt.jump}}
+		spec.analyzers = []pipeline.Analyzer{ra}
+		spec.render = func(w io.Writer, stats pipeline.Stats, join core.JoinStats) {
+			tab := ra.Table()
+			fmt.Fprintf(w, "runs=%d window=%.0fms k=%d\n", tab.TotalRuns, opt.window, opt.jump)
+			fmt.Fprintf(w, "reads  %5.1f%% of runs: entire %5.1f%% seq %5.1f%% random %5.1f%%\n",
+				tab.ReadPct, tab.Read[0], tab.Read[1], tab.Read[2])
+			fmt.Fprintf(w, "writes %5.1f%% of runs: entire %5.1f%% seq %5.1f%% random %5.1f%%\n",
+				tab.WritePct, tab.Write[0], tab.Write[1], tab.Write[2])
+			fmt.Fprintf(w, "r-w    %5.1f%% of runs: entire %5.1f%% seq %5.1f%% random %5.1f%%\n",
+				tab.ReadWritePct, tab.ReadWrite[0], tab.ReadWrite[1], tab.ReadWrite[2])
+		}
+	case "blocklife":
+		bl := &pipeline.BlockLifeAnalyzer{Start: opt.start, Phase: opt.phase, Margin: opt.margin}
+		spec.analyzers = []pipeline.Analyzer{bl}
+		spec.render = func(w io.Writer, stats pipeline.Stats, join core.JoinStats) {
+			res := bl.Result
+			fmt.Fprintf(w, "births=%d (writes %.1f%%, extension %.1f%%)\n",
+				res.Births, res.BirthPct(analysis.BirthWrite), res.BirthPct(analysis.BirthExtension))
+			fmt.Fprintf(w, "deaths=%d (overwrite %.1f%%, truncate %.1f%%, delete %.1f%%)\n",
+				res.Deaths, res.DeathPct(analysis.DeathOverwrite),
+				res.DeathPct(analysis.DeathTruncate), res.DeathPct(analysis.DeathDelete))
+			fmt.Fprintf(w, "end surplus %.1f%%; lifetime p50=%.1fs p90=%.1fs\n",
+				res.EndSurplusPct(), res.Lifetimes.Percentile(50), res.Lifetimes.Percentile(90))
+		}
+	case "hierarchy":
+		hier := &pipeline.HierarchyAnalyzer{Warmup: 600}
+		spec.analyzers = []pipeline.Analyzer{hier}
+		spec.render = func(w io.Writer, stats pipeline.Stats, join core.JoinStats) {
+			fmt.Fprintf(w, "hierarchy coverage after 10min warmup: %.2f%%\n", 100*hier.Coverage)
+		}
+	case "reorder":
+		sweep := &pipeline.ReorderSweepAnalyzer{WindowsMS: []float64{0, 1, 2, 5, 10, 20, 50}}
+		spec.analyzers = []pipeline.Analyzer{sweep}
+		spec.render = func(w io.Writer, stats pipeline.Stats, join core.JoinStats) {
+			for _, p := range sweep.Result {
+				fmt.Fprintf(w, "window %5.0fms: %.2f%% swapped\n", p.WindowMS, p.SwappedPct)
+			}
+		}
+	case "hourly":
+		// Open-ended hour buckets; the span (and so the bucket count) is
+		// fixed only at render time, which lets the accumulation run
+		// incrementally and serialize mid-stream.
+		h := &pipeline.HourlyAnalyzer{}
+		spec.analyzers = []pipeline.Analyzer{h}
+		spec.render = func(w io.Writer, stats pipeline.Stats, join core.JoinStats) {
+			span := stats.Span()
+			if span <= 0 {
+				span = 3600
+			}
+			fixed := h.Result.FixedTo(span)
+			for _, peak := range []bool{false, true} {
+				label := "all hours"
+				if peak {
+					label = "peak hours"
+				}
+				fmt.Fprintf(w, "%s:\n", label)
+				for _, row := range fixed.VarianceTable(peak) {
+					fmt.Fprintf(w, "  %-20s mean=%12.0f stddev=%5.0f%%\n", row.Name, row.Mean, 100*row.RelStddev)
+				}
+			}
+		}
+	case "names":
+		na := &pipeline.NamesAnalyzer{}
+		spec.analyzers = []pipeline.Analyzer{na}
+		spec.render = func(w io.Writer, stats pipeline.Stats, join core.JoinStats) {
+			rep := na.ReportAt(stats.MaxT)
+			for _, cs := range rep.PerCategory {
+				if cs.Created == 0 {
+					continue
+				}
+				fmt.Fprintf(w, "%-10s created=%6d deleted=%6d life_p50=%8.2fs size_p98=%10.0fB\n",
+					cs.Category, cs.Created, cs.Deleted,
+					cs.Lifetimes.Percentile(50), cs.Sizes.Percentile(98))
+			}
+			fmt.Fprintf(w, "locks %.1f%% of created-and-deleted; size prediction %.0f%%, lifetime prediction %.0f%%\n",
+				100*rep.LockFracOfDeleted, 100*rep.SizeAccuracy, 100*rep.LifeAccuracy)
+		}
+	default:
+		return nil, fmt.Errorf("unknown analysis %q", kind)
+	}
+	return spec, nil
+}
+
 // run is main's logic behind injectable streams, so the cmd tree is
 // testable end to end.
 func run(args []string, stdout, stderr io.Writer) error {
@@ -67,8 +200,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	start := fs.Float64("start", 0, "blocklife phase-1 start (seconds)")
 	phase := fs.Float64("phase", workload.Day, "blocklife phase-1 length (seconds)")
 	margin := fs.Float64("margin", workload.Day, "blocklife end margin (seconds)")
-	workers := fs.Int("workers", 0, "pipeline shard count (0 = one per CPU)")
+	workers := fs.Int("workers", 0, "pipeline shard count, or worker process count with -coordinator (0 = one per CPU)")
 	decoders := fs.Int("decoders", 0, "parallel decode goroutines per input file (0 = one per CPU)")
+	partialOut := fs.String("partial", "", "serialize partial analysis state to this file instead of rendering tables")
+	resumeIn := fs.String("resume", "", "seed the analysis from this state file before reading input")
+	mergeMode := fs.Bool("merge", false, "inputs are state files: merge them and render the tables")
+	coordMode := fs.Bool("coordinator", false, "partition input files across -workers child processes, merge their states, render")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
@@ -107,11 +244,50 @@ func run(args []string, stdout, stderr io.Writer) error {
 		defer pprof.StopCPUProfile()
 	}
 
-	icfg := core.IngestConfig{Decoders: *decoders}
+	opt := analysisOptions{window: *window, jump: *jump, start: *start, phase: *phase, margin: *margin}
+	spec, err := buildAnalysis(*kind, opt)
+	if err != nil {
+		return err
+	}
 	inputs := fs.Args()
 	if *in != "" {
 		inputs = append([]string{*in}, inputs...)
 	}
+
+	if *mergeMode {
+		if *partialOut != "" || *resumeIn != "" || *coordMode {
+			return fmt.Errorf("-merge cannot be combined with -partial, -resume, or -coordinator")
+		}
+		if len(inputs) == 0 {
+			return fmt.Errorf("-merge needs state files as inputs")
+		}
+		paths, err := pipeline.ExpandInputs(inputs)
+		if err != nil {
+			return err
+		}
+		return runMerge(spec, paths, stdout)
+	}
+	if *coordMode {
+		if *partialOut != "" || *resumeIn != "" {
+			return fmt.Errorf("-coordinator cannot be combined with -partial or -resume")
+		}
+		if len(inputs) == 0 {
+			return fmt.Errorf("-coordinator needs file inputs, not stdin")
+		}
+		paths, err := pipeline.ExpandInputs(inputs)
+		if err != nil {
+			return err
+		}
+		return runCoordinator(coordConfig{
+			spec:     spec,
+			paths:    paths,
+			workers:  *workers,
+			decoders: *decoders,
+			opt:      opt,
+		}, stdout, stderr)
+	}
+
+	icfg := core.IngestConfig{Decoders: *decoders}
 	var src core.RecordSource
 	var set *pipeline.TraceSet
 	if len(inputs) == 0 {
@@ -135,96 +311,64 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	cfg := pipeline.Config{Workers: *workers}
 
-	switch *kind {
-	case "summary":
-		sum := &pipeline.SummaryAnalyzer{}
-		join, stats, err := stream(cfg, src, sum)
+	var resumed *pipeline.Partial
+	if *resumeIn != "" {
+		resumed, err = readPartialFile(*resumeIn, spec.kind)
 		if err != nil {
 			return err
 		}
-		days := stats.Span() / workload.Day
-		if days <= 0 {
-			days = 1.0 / 24
-		}
-		sum.Result.Days = days
-		fmt.Fprintln(stdout, sum.Result)
-		fmt.Fprintf(stdout, "join: %d calls, %d replies, %d unmatched calls, %d orphan replies (loss est %.2f%%)\n",
-			join.Calls, join.Replies, join.UnmatchedCalls, join.OrphanReplies, 100*join.LossEstimate())
-	case "runs":
-		ra := &pipeline.RunsAnalyzer{Config: analysis.RunConfig{
-			ReorderWindow: *window / 1000, IdleGap: 30, JumpBlocks: *jump}}
-		if _, _, err := stream(cfg, src, ra); err != nil {
+	}
+
+	lv := pipeline.NewLive(cfg, spec.analyzers...)
+	if resumed != nil {
+		if err := resumed.Resume(lv); err != nil {
+			lv.Abort()
 			return err
 		}
-		tab := ra.Table()
-		fmt.Fprintf(stdout, "runs=%d window=%.0fms k=%d\n", tab.TotalRuns, *window, *jump)
-		fmt.Fprintf(stdout, "reads  %5.1f%% of runs: entire %5.1f%% seq %5.1f%% random %5.1f%%\n",
-			tab.ReadPct, tab.Read[0], tab.Read[1], tab.Read[2])
-		fmt.Fprintf(stdout, "writes %5.1f%% of runs: entire %5.1f%% seq %5.1f%% random %5.1f%%\n",
-			tab.WritePct, tab.Write[0], tab.Write[1], tab.Write[2])
-		fmt.Fprintf(stdout, "r-w    %5.1f%% of runs: entire %5.1f%% seq %5.1f%% random %5.1f%%\n",
-			tab.ReadWritePct, tab.ReadWrite[0], tab.ReadWrite[1], tab.ReadWrite[2])
-	case "blocklife":
-		bl := &pipeline.BlockLifeAnalyzer{Start: *start, Phase: *phase, Margin: *margin}
-		if _, _, err := stream(cfg, src, bl); err != nil {
+	}
+	j := pipeline.NewJoiner(src)
+	for {
+		op, err := j.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			lv.Abort()
 			return err
 		}
-		res := bl.Result
-		fmt.Fprintf(stdout, "births=%d (writes %.1f%%, extension %.1f%%)\n",
-			res.Births, res.BirthPct(analysis.BirthWrite), res.BirthPct(analysis.BirthExtension))
-		fmt.Fprintf(stdout, "deaths=%d (overwrite %.1f%%, truncate %.1f%%, delete %.1f%%)\n",
-			res.Deaths, res.DeathPct(analysis.DeathOverwrite),
-			res.DeathPct(analysis.DeathTruncate), res.DeathPct(analysis.DeathDelete))
-		fmt.Fprintf(stdout, "end surplus %.1f%%; lifetime p50=%.1fs p90=%.1fs\n",
-			res.EndSurplusPct(), res.Lifetimes.Percentile(50), res.Lifetimes.Percentile(90))
-	case "hierarchy":
-		hier := &pipeline.HierarchyAnalyzer{Warmup: 600}
-		if _, _, err := stream(cfg, src, hier); err != nil {
-			return err
+		lv.Feed(op)
+	}
+	join := j.Stats()
+	if resumed != nil {
+		// Join statistics accumulate across the resume chain like every
+		// other reducer.
+		total := resumed.Join
+		total.Merge(join)
+		join = total
+	}
+
+	if *partialOut != "" {
+		stats := lv.Quiesce()
+		if stats.Ops == 0 {
+			return fmt.Errorf("no operations in trace")
 		}
-		fmt.Fprintf(stdout, "hierarchy coverage after 10min warmup: %.2f%%\n", 100*hier.Coverage)
-	case "reorder":
-		sweep := &pipeline.ReorderSweepAnalyzer{WindowsMS: []float64{0, 1, 2, 5, 10, 20, 50}}
-		if _, _, err := stream(cfg, src, sweep); err != nil {
-			return err
-		}
-		for _, p := range sweep.Result {
-			fmt.Fprintf(stdout, "window %5.0fms: %.2f%% swapped\n", p.WindowMS, p.SwappedPct)
-		}
-	case "hourly":
-		ops, span, err := materialize(src)
+		f, err := os.Create(*partialOut)
 		if err != nil {
 			return err
 		}
-		h := analysis.Hourly(ops, span)
-		for _, peak := range []bool{false, true} {
-			label := "all hours"
-			if peak {
-				label = "peak hours"
-			}
-			fmt.Fprintf(stdout, "%s:\n", label)
-			for _, row := range h.VarianceTable(peak) {
-				fmt.Fprintf(stdout, "  %-20s mean=%12.0f stddev=%5.0f%%\n", row.Name, row.Mean, 100*row.RelStddev)
-			}
-		}
-	case "names":
-		ops, _, err := materialize(src)
-		if err != nil {
+		if err := pipeline.WritePartial(f, lv, spec.kind, join, resumed); err != nil {
+			f.Close()
 			return err
 		}
-		rep := analysis.AnalyzeNames(ops, ops[len(ops)-1].T)
-		for _, cs := range rep.PerCategory {
-			if cs.Created == 0 {
-				continue
-			}
-			fmt.Fprintf(stdout, "%-10s created=%6d deleted=%6d life_p50=%8.2fs size_p98=%10.0fB\n",
-				cs.Category, cs.Created, cs.Deleted,
-				cs.Lifetimes.Percentile(50), cs.Sizes.Percentile(98))
+		if err := f.Close(); err != nil {
+			return err
 		}
-		fmt.Fprintf(stdout, "locks %.1f%% of created-and-deleted; size prediction %.0f%%, lifetime prediction %.0f%%\n",
-			100*rep.LockFracOfDeleted, 100*rep.SizeAccuracy, 100*rep.LifeAccuracy)
-	default:
-		return fmt.Errorf("unknown analysis %q", *kind)
+	} else {
+		stats := lv.Finish()
+		if stats.Ops == 0 {
+			return fmt.Errorf("no operations in trace")
+		}
+		spec.render(stdout, stats, join)
 	}
 
 	if set != nil && len(set.Stats()) > 1 {
@@ -235,38 +379,38 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
-// stream joins the record source incrementally and runs the analyzers
-// across the pipeline's shards. It returns the join and stream
-// statistics for span-dependent fix-ups.
-func stream(cfg pipeline.Config, src core.RecordSource, analyzers ...pipeline.Analyzer) (core.JoinStats, pipeline.Stats, error) {
-	j := pipeline.NewJoiner(src)
-	stats, err := pipeline.Run(cfg, j, analyzers...)
+// readPartialFile reads one state file and checks it holds the analysis
+// the caller is rendering.
+func readPartialFile(path, kind string) (*pipeline.Partial, error) {
+	f, err := os.Open(path)
 	if err != nil {
-		return core.JoinStats{}, stats, err
+		return nil, err
 	}
-	if stats.Ops == 0 {
-		return core.JoinStats{}, stats, fmt.Errorf("no operations in trace")
+	defer f.Close()
+	p, err := pipeline.ReadPartial(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return j.Stats(), stats, nil
+	if p.Label != kind {
+		return nil, fmt.Errorf("%s: state holds a %q analysis, not %q (pass -analysis %s)", path, p.Label, kind, p.Label)
+	}
+	return p, nil
 }
 
-// materialize drains the source into a joined op slice for the
-// analyses that need the whole trace up front.
-func materialize(src core.RecordSource) ([]*core.Op, float64, error) {
-	var records []*core.Record
-	for {
-		rec, err := src.Next()
-		if err == io.EOF {
-			break
-		}
+// runMerge combines state files and renders the tables.
+func runMerge(spec *analysisSpec, paths []string, stdout io.Writer) error {
+	partials := make([]*pipeline.Partial, 0, len(paths))
+	for _, path := range paths {
+		p, err := readPartialFile(path, spec.kind)
 		if err != nil {
-			return nil, 0, err
+			return err
 		}
-		records = append(records, rec)
+		partials = append(partials, p)
 	}
-	ops, _ := core.Join(records)
-	if len(ops) == 0 {
-		return nil, 0, fmt.Errorf("no operations in trace")
+	stats, join, err := pipeline.MergePartials(spec.analyzers, partials)
+	if err != nil {
+		return err
 	}
-	return ops, ops[len(ops)-1].T - ops[0].T, nil
+	spec.render(stdout, stats, join)
+	return nil
 }

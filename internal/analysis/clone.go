@@ -108,6 +108,32 @@ func (m *MailboxShare) Clone() *MailboxShare {
 	return cp
 }
 
+// Clone returns an independent copy of the names stream: open
+// instances, name bindings, and the folded per-category aggregate.
+func (n *NamesStream) Clone() *NamesStream {
+	cp := NewNamesStream()
+	for fh, fl := range n.lives {
+		c := *fl
+		cp.lives[fh] = &c
+	}
+	for nb, fh := range n.names {
+		cp.names[nb] = fh
+	}
+	for c := 0; c < int(numCategories); c++ {
+		cp.agg.created[c] = n.agg.created[c]
+		cp.agg.deleted[c] = n.agg.deleted[c]
+		cp.agg.readOps[c] = n.agg.readOps[c]
+		cp.agg.writeOps[c] = n.agg.writeOps[c]
+		cp.agg.lifetimes[c] = n.agg.lifetimes[c].Clone()
+		cp.agg.sizes[c] = n.agg.sizes[c].Clone()
+		cp.agg.sizeHist[c] = n.agg.sizeHist[c]
+		cp.agg.lifeHist[c] = n.agg.lifeHist[c]
+	}
+	cp.agg.lockDeleted = n.agg.lockDeleted
+	cp.agg.totalDeleted = n.agg.totalDeleted
+	return cp
+}
+
 // Clone returns an independent copy of the namespace model, including
 // the running coverage counters.
 func (h *Hierarchy) Clone() *Hierarchy {

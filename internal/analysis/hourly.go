@@ -31,6 +31,34 @@ func NewHourly(span float64) *HourlySeries {
 	}
 }
 
+// NewHourlyOpen returns a per-hour accumulator whose buckets grow on
+// demand — for incremental runs where the window span isn't known up
+// front. Convert with FixedTo once the span is known.
+func NewHourlyOpen() *HourlySeries {
+	return &HourlySeries{
+		Ops:        stats.NewOpenTimeBuckets(3600),
+		ReadOps:    stats.NewOpenTimeBuckets(3600),
+		WriteOps:   stats.NewOpenTimeBuckets(3600),
+		BytesRead:  stats.NewOpenTimeBuckets(3600),
+		BytesWrite: stats.NewOpenTimeBuckets(3600),
+	}
+}
+
+// FixedTo folds an open series into the fixed form over [0, span) —
+// identical to what NewHourly(span) would have accumulated, because
+// buckets are anchored at t=0 either way and the fixed form clamps
+// out-of-range hours into the last bucket.
+func (h *HourlySeries) FixedTo(span float64) *HourlySeries {
+	return &HourlySeries{
+		Span:       span,
+		Ops:        h.Ops.Fixed(span),
+		ReadOps:    h.ReadOps.Fixed(span),
+		WriteOps:   h.WriteOps.Fixed(span),
+		BytesRead:  h.BytesRead.Fixed(span),
+		BytesWrite: h.BytesWrite.Fixed(span),
+	}
+}
+
 // Add folds one operation into its hour bucket.
 func (h *HourlySeries) Add(op *core.Op) {
 	h.Ops.Add(op.T, 1)

@@ -137,121 +137,186 @@ func lifeClass(life float64) int {
 	}
 }
 
-// AnalyzeNames builds the §6.3 report from a joined op stream.
-func AnalyzeNames(ops []*core.Op, windowEnd float64) *NameReport {
-	// Track file instances created in the window.
-	lives := make(map[core.FH]*fileLife)   // by NewFH
-	names := make(map[nameBinding]core.FH) // (dir,name) → fh
-	var done []*fileLife
+// NamesStream is the incremental form of AnalyzeNames: feed it
+// time-ordered operations with Consume, then build the report with
+// Report once the window end is known. Finished instances fold into
+// per-category aggregates as they die, so the live state is just the
+// open instances and the name map — which is what makes the stream's
+// partial state serializable and resumable across process boundaries.
+type NamesStream struct {
+	lives map[core.FH]*fileLife   // open instances, by NewFH
+	names map[nameBinding]core.FH // (dir,name) → fh
 
+	agg namesAgg
+}
+
+// namesAgg accumulates the per-category reductions over finished
+// instances. Every field is a sum, a histogram, or a CDF sample
+// multiset, so folding instances one at a time (or merging a resumed
+// aggregate) reproduces exactly what AnalyzeNames computes over the
+// full done list.
+type namesAgg struct {
+	created   [numCategories]int64
+	deleted   [numCategories]int64
+	readOps   [numCategories]int64
+	writeOps  [numCategories]int64
+	lifetimes [numCategories]*stats.CDF
+	sizes     [numCategories]*stats.CDF
+	sizeHist  [numCategories][5]int64
+	lifeHist  [numCategories][4]int64
+
+	lockDeleted  int64
+	totalDeleted int64
+}
+
+func newNamesAgg() namesAgg {
+	var a namesAgg
+	for c := range a.lifetimes {
+		a.lifetimes[c] = &stats.CDF{}
+		a.sizes[c] = &stats.CDF{}
+	}
+	return a
+}
+
+// fold accumulates one finished instance.
+func (a *namesAgg) fold(fl *fileLife) {
+	a.created[fl.cat]++
+	a.sizes[fl.cat].Add(float64(fl.maxSize))
+	a.readOps[fl.cat] += fl.reads
+	a.writeOps[fl.cat] += fl.writes
+	a.sizeHist[fl.cat][sizeClass(fl.maxSize)]++
+	if fl.deleted {
+		a.deleted[fl.cat]++
+		a.totalDeleted++
+		life := fl.died - fl.born
+		a.lifetimes[fl.cat].Add(life)
+		a.lifeHist[fl.cat][lifeClass(life)]++
+		if fl.cat == CatLock {
+			a.lockDeleted++
+		}
+	}
+}
+
+// NewNamesStream returns an empty stream.
+func NewNamesStream() *NamesStream {
+	return &NamesStream{
+		lives: make(map[core.FH]*fileLife),
+		names: make(map[nameBinding]core.FH),
+		agg:   newNamesAgg(),
+	}
+}
+
+// Consume folds one operation into the stream. Ops must arrive in time
+// order.
+func (n *NamesStream) Consume(op *core.Op) {
 	key := func(dir core.FH, name string) nameBinding { return nameBinding{dir, name} }
-	for _, op := range ops {
-		switch op.Proc {
-		case core.ProcCreate, core.ProcMkdir, core.ProcSymlink:
-			if op.NewFH == 0 {
-				continue
+	switch op.Proc {
+	case core.ProcCreate, core.ProcMkdir, core.ProcSymlink:
+		if op.NewFH == 0 {
+			return
+		}
+		// Recreating a name orphans any previous instance.
+		n.names[key(op.FH, op.Name)] = op.NewFH
+		if _, exists := n.lives[op.NewFH]; !exists {
+			n.lives[op.NewFH] = &fileLife{
+				name: op.Name, cat: Categorize(op.Name),
+				born: op.T, maxSize: op.Size, readSeq: true,
 			}
-			// Recreating a name orphans any previous instance.
-			names[key(op.FH, op.Name)] = op.NewFH
-			if _, exists := lives[op.NewFH]; !exists {
-				lives[op.NewFH] = &fileLife{
-					name: op.Name, cat: Categorize(op.Name),
-					born: op.T, maxSize: op.Size, readSeq: true,
-				}
-			}
-		case core.ProcLookup:
-			if op.NewFH != 0 {
-				names[key(op.FH, op.Name)] = op.NewFH
-			}
-		case core.ProcRename:
-			k := key(op.FH, op.Name)
-			if fh, ok := names[k]; ok {
-				delete(names, k)
-				names[key(op.FH2, op.Name2)] = fh
-			}
-		case core.ProcRemove:
-			fh, ok := names[key(op.FH, op.Name)]
-			if !ok {
-				continue
-			}
-			delete(names, key(op.FH, op.Name))
-			if fl, ok := lives[fh]; ok {
-				fl.died = op.T
-				fl.deleted = true
-				done = append(done, fl)
-				delete(lives, fh)
-			}
-		case core.ProcWrite:
-			if fl, ok := lives[op.FH]; ok {
-				fl.writes++
-				if op.Size > fl.maxSize {
-					fl.maxSize = op.Size
-				}
-			}
-		case core.ProcRead:
-			if fl, ok := lives[op.FH]; ok {
-				fl.reads++
-				if op.Size > fl.maxSize {
-					fl.maxSize = op.Size
-				}
-			}
-		case core.ProcSetattr:
-			if fl, ok := lives[op.FH]; ok && op.Size > fl.maxSize {
+		}
+	case core.ProcLookup:
+		if op.NewFH != 0 {
+			n.names[key(op.FH, op.Name)] = op.NewFH
+		}
+	case core.ProcRename:
+		k := key(op.FH, op.Name)
+		if fh, ok := n.names[k]; ok {
+			delete(n.names, k)
+			n.names[key(op.FH2, op.Name2)] = fh
+		}
+	case core.ProcRemove:
+		fh, ok := n.names[key(op.FH, op.Name)]
+		if !ok {
+			return
+		}
+		delete(n.names, key(op.FH, op.Name))
+		if fl, ok := n.lives[fh]; ok {
+			fl.died = op.T
+			fl.deleted = true
+			n.agg.fold(fl)
+			delete(n.lives, fh)
+		}
+	case core.ProcWrite:
+		if fl, ok := n.lives[op.FH]; ok {
+			fl.writes++
+			if op.Size > fl.maxSize {
 				fl.maxSize = op.Size
 			}
 		}
+	case core.ProcRead:
+		if fl, ok := n.lives[op.FH]; ok {
+			fl.reads++
+			if op.Size > fl.maxSize {
+				fl.maxSize = op.Size
+			}
+		}
+	case core.ProcSetattr:
+		if fl, ok := n.lives[op.FH]; ok && op.Size > fl.maxSize {
+			fl.maxSize = op.Size
+		}
 	}
-	// Instances still alive at window end.
-	for _, fl := range lives {
-		fl.died = windowEnd
-		done = append(done, fl)
+}
+
+// Report builds the §6.3 report as of windowEnd: instances still alive
+// count as created (not deleted) with their current max size. The
+// stream itself is left untouched — Report folds the open instances
+// into a copy of the aggregate, so it can be called mid-stream.
+func (n *NamesStream) Report(windowEnd float64) *NameReport {
+	agg := newNamesAgg()
+	for c := 0; c < int(numCategories); c++ {
+		agg.created[c] = n.agg.created[c]
+		agg.deleted[c] = n.agg.deleted[c]
+		agg.readOps[c] = n.agg.readOps[c]
+		agg.writeOps[c] = n.agg.writeOps[c]
+		agg.lifetimes[c] = n.agg.lifetimes[c].Clone()
+		agg.sizes[c] = n.agg.sizes[c].Clone()
+		agg.sizeHist[c] = n.agg.sizeHist[c]
+		agg.lifeHist[c] = n.agg.lifeHist[c]
+	}
+	agg.lockDeleted = n.agg.lockDeleted
+	agg.totalDeleted = n.agg.totalDeleted
+	for _, fl := range n.lives {
+		end := *fl
+		end.died = windowEnd
+		agg.fold(&end)
 	}
 
 	rep := &NameReport{}
 	for c := 0; c < int(numCategories); c++ {
 		rep.PerCategory[c] = &CategoryStats{
 			Category:  NameCategory(c),
-			Lifetimes: &stats.CDF{},
-			Sizes:     &stats.CDF{},
+			Created:   agg.created[c],
+			Deleted:   agg.deleted[c],
+			Lifetimes: agg.lifetimes[c],
+			Sizes:     agg.sizes[c],
+			ReadOps:   agg.readOps[c],
+			WriteOps:  agg.writeOps[c],
 		}
 	}
-	var lockDeleted, totalDeleted int64
-	// Per-category class histograms for the prediction experiment.
-	var sizeHist [numCategories][5]int64
-	var lifeHist [numCategories][4]int64
-	for _, fl := range done {
-		cs := rep.PerCategory[fl.cat]
-		cs.Created++
-		cs.Sizes.Add(float64(fl.maxSize))
-		cs.ReadOps += fl.reads
-		cs.WriteOps += fl.writes
-		sizeHist[fl.cat][sizeClass(fl.maxSize)]++
-		if fl.deleted {
-			cs.Deleted++
-			totalDeleted++
-			life := fl.died - fl.born
-			cs.Lifetimes.Add(life)
-			lifeHist[fl.cat][lifeClass(life)]++
-			if fl.cat == CatLock {
-				lockDeleted++
-			}
-		}
-	}
-	rep.CreatedAndDeleted = totalDeleted
-	if totalDeleted > 0 {
-		rep.LockFracOfDeleted = float64(lockDeleted) / float64(totalDeleted)
+	rep.CreatedAndDeleted = agg.totalDeleted
+	if agg.totalDeleted > 0 {
+		rep.LockFracOfDeleted = float64(agg.lockDeleted) / float64(agg.totalDeleted)
 	}
 
 	// Prediction accuracy: predict each instance's class as its
 	// category's modal class.
 	var sizeRight, sizeTotal, lifeRight, lifeTotal int64
 	for c := 0; c < int(numCategories); c++ {
-		if m, n := modal(sizeHist[c][:]); n > 0 {
-			sizeRight += sizeHist[c][m]
+		if m, n := modal(agg.sizeHist[c][:]); n > 0 {
+			sizeRight += agg.sizeHist[c][m]
 			sizeTotal += n
 		}
-		if m, n := modal(lifeHist[c][:]); n > 0 {
-			lifeRight += lifeHist[c][m]
+		if m, n := modal(agg.lifeHist[c][:]); n > 0 {
+			lifeRight += agg.lifeHist[c][m]
 			lifeTotal += n
 		}
 	}
@@ -262,6 +327,16 @@ func AnalyzeNames(ops []*core.Op, windowEnd float64) *NameReport {
 		rep.LifeAccuracy = float64(lifeRight) / float64(lifeTotal)
 	}
 	return rep
+}
+
+// AnalyzeNames builds the §6.3 report from a joined op stream. It is
+// the one-shot form of NamesStream.
+func AnalyzeNames(ops []*core.Op, windowEnd float64) *NameReport {
+	n := NewNamesStream()
+	for _, op := range ops {
+		n.Consume(op)
+	}
+	return n.Report(windowEnd)
 }
 
 func modal(hist []int64) (idx int, total int64) {

@@ -104,6 +104,17 @@ type JoinStats struct {
 	OrphanReplies  int64 // replies whose call was lost
 }
 
+// Merge folds other's counts into s — the reduction for partial
+// analyses, where each trace piece is joined separately and the
+// counters sum exactly.
+func (s *JoinStats) Merge(other JoinStats) {
+	s.Calls += other.Calls
+	s.Replies += other.Replies
+	s.Matched += other.Matched
+	s.UnmatchedCalls += other.UnmatchedCalls
+	s.OrphanReplies += other.OrphanReplies
+}
+
 // LossEstimate approximates the fraction of messages lost, following
 // the paper: an orphan reply implies a lost call, and an unmatched call
 // implies a lost reply (modulo calls still in flight at trace end).

@@ -1,0 +1,304 @@
+package pipeline
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/state"
+)
+
+// Every analyzer in this package can serialize its partial reduction
+// into a state file section and fold a serialized partial back into its
+// open accumulators — the mechanism behind nfsanalyze -partial/-merge,
+// checkpoint/resume, and the multi-process coordinator.
+//
+// Two reducer families fall out of the paper's analyses:
+//
+//   - Parallel-exact reducers (summary, hourly, runs, reorder,
+//     peak-hour, mailbox): their state is a sum, a set union, or a
+//     per-file partition, so independently computed partials merge in
+//     trace-time order into exactly the single-pass result.
+//
+//   - Sequential reducers (block lifetimes, hierarchy, names): their
+//     state depends on stream order (phase windows, namespace warm-up),
+//     so partials only compose as a resume chain — each piece seeded
+//     from its predecessor's state. MergePartials enforces this.
+
+// statefulAnalyzer is the serialization contract each analyzer adds on
+// top of Analyzer. encodeState runs after Quiesce (workers stopped,
+// accumulators final); decodeState runs after Open, before any Feed.
+type statefulAnalyzer interface {
+	Analyzer
+	// stateKey names the section payload format; the section is written
+	// as "<index>:<key>" so one run can carry two analyzers of a kind.
+	stateKey() string
+	// stateSeq reports order dependence: sequential reducers resume,
+	// they never merge independent partials.
+	stateSeq() bool
+	// encodeState writes the union of every shard's partial state.
+	// rt resolves cross-shard name-binding conflicts.
+	encodeState(e *state.Encoder, rt *router)
+	// decodeState folds one serialized partial into the open
+	// accumulators, distributing per-file state to the owning shards.
+	decodeState(d *state.Decoder)
+	// newLike returns a fresh unopened analyzer with the same
+	// configuration, for the intermediate pieces of a partitioned run.
+	newLike() Analyzer
+}
+
+// IsSequential reports whether the analyzer's reduction is order
+// dependent — if so, partial states from disjoint trace pieces cannot
+// be merged independently and must be chained with resume.
+func IsSequential(a Analyzer) bool {
+	if sa, ok := a.(statefulAnalyzer); ok {
+		return sa.stateSeq()
+	}
+	return false
+}
+
+// shardIndex maps a file handle to its owning shard — the same hash the
+// router applies to data ops, so distributed state lands exactly where
+// the resumed stream will route that file's future operations.
+func shardIndex(fh core.FH, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(mix32(uint32(fh)) % uint64(n))
+}
+
+func (a *SummaryAnalyzer) stateKey() string { return "summary" }
+func (a *SummaryAnalyzer) stateSeq() bool   { return false }
+func (a *SummaryAnalyzer) newLike() Analyzer {
+	return &SummaryAnalyzer{Days: a.Days}
+}
+
+func (a *SummaryAnalyzer) encodeState(e *state.Encoder, rt *router) {
+	merged := analysis.NewSummary(a.Days)
+	for _, p := range a.parts {
+		merged.Merge(p)
+	}
+	merged.EncodeState(e)
+}
+
+func (a *SummaryAnalyzer) decodeState(d *state.Decoder) {
+	// Pure sums: fold into shard 0, Close sums every shard anyway.
+	a.parts[0].DecodeState(d)
+}
+
+func (a *HourlyAnalyzer) stateKey() string { return "hourly" }
+func (a *HourlyAnalyzer) stateSeq() bool   { return false }
+func (a *HourlyAnalyzer) newLike() Analyzer {
+	return &HourlyAnalyzer{Span: a.Span}
+}
+
+func (a *HourlyAnalyzer) encodeState(e *state.Encoder, rt *router) {
+	merged := a.newSeries()
+	for _, p := range a.parts {
+		merged.Merge(p)
+	}
+	merged.EncodeState(e)
+}
+
+func (a *HourlyAnalyzer) decodeState(d *state.Decoder) {
+	a.parts[0].DecodeState(d)
+}
+
+func (a *RunsAnalyzer) stateKey() string { return "runs" }
+func (a *RunsAnalyzer) stateSeq() bool   { return false }
+func (a *RunsAnalyzer) newLike() Analyzer {
+	return &RunsAnalyzer{Config: a.Config}
+}
+
+func (a *RunsAnalyzer) encodeState(e *state.Encoder, rt *router) {
+	e.F64(a.Config.ReorderWindow)
+	e.F64(a.Config.IdleGap)
+	e.Varint(a.Config.JumpBlocks)
+	combinedAccessMap(a.parts).EncodeState(e)
+}
+
+func (a *RunsAnalyzer) decodeState(d *state.Decoder) {
+	rw, ig, jb := d.F64(), d.F64(), d.Varint()
+	if d.Err() != nil {
+		return
+	}
+	if rw != a.Config.ReorderWindow || ig != a.Config.IdleGap || jb != a.Config.JumpBlocks {
+		d.Failf("run config (window=%v gap=%v k=%v) does not match receiver (window=%v gap=%v k=%v)",
+			rw, ig, jb, a.Config.ReorderWindow, a.Config.IdleGap, a.Config.JumpBlocks)
+		return
+	}
+	decodeAccessMap(d, a.parts)
+}
+
+func (a *ReorderSweepAnalyzer) stateKey() string { return "reorder" }
+func (a *ReorderSweepAnalyzer) stateSeq() bool   { return false }
+func (a *ReorderSweepAnalyzer) newLike() Analyzer {
+	return &ReorderSweepAnalyzer{WindowsMS: a.WindowsMS}
+}
+
+func (a *ReorderSweepAnalyzer) encodeState(e *state.Encoder, rt *router) {
+	e.Uvarint(uint64(len(a.WindowsMS)))
+	for _, w := range a.WindowsMS {
+		e.F64(w)
+	}
+	combinedAccessMap(a.parts).EncodeState(e)
+}
+
+func (a *ReorderSweepAnalyzer) decodeState(d *state.Decoder) {
+	n := d.Count("window count")
+	if d.Err() == nil && n != len(a.WindowsMS) {
+		d.Failf("window count %d does not match receiver's %d", n, len(a.WindowsMS))
+		return
+	}
+	for i := 0; i < n && d.Err() == nil; i++ {
+		if w := d.F64(); d.Err() == nil && w != a.WindowsMS[i] {
+			d.Failf("window %d is %vms, receiver has %vms", i, w, a.WindowsMS[i])
+			return
+		}
+	}
+	decodeAccessMap(d, a.parts)
+}
+
+// combinedAccessMap unions per-shard access maps. Files partition by
+// shard, so the union never concatenates two shards' lists.
+func combinedAccessMap(parts []analysis.AccessMap) analysis.AccessMap {
+	combined := make(analysis.AccessMap)
+	for _, m := range parts {
+		for fh, accs := range m {
+			combined[fh] = append(combined[fh], accs...)
+		}
+	}
+	return combined
+}
+
+// decodeAccessMap decodes one serialized access map and spreads it
+// across the open shards.
+func decodeAccessMap(d *state.Decoder, parts []analysis.AccessMap) {
+	tmp := make(analysis.AccessMap)
+	tmp.DecodeState(d)
+	if d.Err() != nil {
+		return
+	}
+	tmp.DistributeState(parts, func(fh core.FH) int { return shardIndex(fh, len(parts)) })
+}
+
+func (a *BlockLifeAnalyzer) stateKey() string { return "blocklife" }
+func (a *BlockLifeAnalyzer) stateSeq() bool   { return true }
+func (a *BlockLifeAnalyzer) newLike() Analyzer {
+	return &BlockLifeAnalyzer{Start: a.Start, Phase: a.Phase, Margin: a.Margin}
+}
+
+func (a *BlockLifeAnalyzer) encodeState(e *state.Encoder, rt *router) {
+	combined := analysis.NewBlockLifeStream(a.Start, a.Phase, a.Margin)
+	// A shard's (dir, name) → file map can hold bindings the global
+	// stream has since rebound or removed — the superseding op routed to
+	// a different shard. The router sees every binding event in order,
+	// so it is the arbiter: only bindings it still agrees with survive
+	// serialization, which is exactly the map a single-shard run would
+	// hold.
+	keep := func(dir core.FH, name string, child core.FH) bool {
+		return rt.names[binding{dir, name}] == child
+	}
+	for _, p := range a.parts {
+		p.MergeStateInto(combined, keep)
+	}
+	combined.EncodeState(e)
+}
+
+func (a *BlockLifeAnalyzer) decodeState(d *state.Decoder) {
+	tmp := analysis.NewBlockLifeStream(a.Start, a.Phase, a.Margin)
+	tmp.DecodeState(d)
+	if d.Err() != nil {
+		return
+	}
+	tmp.DistributeState(a.parts, func(fh core.FH) int { return shardIndex(fh, len(a.parts)) })
+}
+
+func (a *PeakHourAnalyzer) stateKey() string { return "peakhour" }
+func (a *PeakHourAnalyzer) stateSeq() bool   { return false }
+func (a *PeakHourAnalyzer) newLike() Analyzer {
+	return &PeakHourAnalyzer{From: a.From, To: a.To}
+}
+
+func (a *PeakHourAnalyzer) encodeState(e *state.Encoder, rt *router) {
+	combined := analysis.NewPeakHourInstances(a.From, a.To)
+	for _, p := range a.parts {
+		p.MergeStateInto(combined)
+	}
+	combined.EncodeState(e)
+}
+
+func (a *PeakHourAnalyzer) decodeState(d *state.Decoder) {
+	tmp := analysis.NewPeakHourInstances(a.From, a.To)
+	tmp.DecodeState(d)
+	if d.Err() != nil {
+		return
+	}
+	tmp.DistributeState(a.parts, func(fh core.FH) int { return shardIndex(fh, len(a.parts)) })
+}
+
+func (a *MailboxAnalyzer) stateKey() string { return "mailbox" }
+func (a *MailboxAnalyzer) stateSeq() bool   { return false }
+func (a *MailboxAnalyzer) newLike() Analyzer {
+	return &MailboxAnalyzer{}
+}
+
+func (a *MailboxAnalyzer) encodeState(e *state.Encoder, rt *router) {
+	combined := analysis.NewMailboxShare()
+	for _, p := range a.parts {
+		p.MergeStateInto(combined)
+	}
+	combined.EncodeState(e)
+}
+
+func (a *MailboxAnalyzer) decodeState(d *state.Decoder) {
+	tmp := analysis.NewMailboxShare()
+	tmp.DecodeState(d)
+	if d.Err() != nil {
+		return
+	}
+	tmp.DistributeState(a.parts, func(fh core.FH) int { return shardIndex(fh, len(a.parts)) })
+}
+
+func (a *HierarchyAnalyzer) stateKey() string { return "hierarchy" }
+func (a *HierarchyAnalyzer) stateSeq() bool   { return true }
+func (a *HierarchyAnalyzer) newLike() Analyzer {
+	return &HierarchyAnalyzer{Warmup: a.Warmup}
+}
+
+func (a *HierarchyAnalyzer) encodeState(e *state.Encoder, rt *router) {
+	e.F64(a.Warmup)
+	e.Bool(a.acc.started)
+	e.F64(a.acc.start)
+	e.Varint(a.acc.resolvable)
+	e.Varint(a.acc.total)
+	a.acc.h.EncodeState(e)
+}
+
+func (a *HierarchyAnalyzer) decodeState(d *state.Decoder) {
+	warmup := d.F64()
+	if d.Err() == nil && warmup != a.Warmup {
+		d.Failf("hierarchy warmup %vs does not match receiver's %vs", warmup, a.Warmup)
+		return
+	}
+	// The warm-up clock started with the first op of the whole stream,
+	// not of this piece — restore it so the resumed run keeps counting
+	// from the same instant.
+	a.acc.started = d.Bool()
+	a.acc.start = d.F64()
+	a.acc.resolvable += d.Varint()
+	a.acc.total += d.Varint()
+	a.acc.h.DecodeState(d)
+}
+
+func (a *NamesAnalyzer) stateKey() string { return "names" }
+func (a *NamesAnalyzer) stateSeq() bool   { return true }
+func (a *NamesAnalyzer) newLike() Analyzer {
+	return &NamesAnalyzer{}
+}
+
+func (a *NamesAnalyzer) encodeState(e *state.Encoder, rt *router) {
+	a.stream.EncodeState(e)
+}
+
+func (a *NamesAnalyzer) decodeState(d *state.Decoder) {
+	a.stream.DecodeState(d)
+}

@@ -63,8 +63,10 @@ func (a *SummaryAnalyzer) Fork() (Analyzer, []Accumulator) {
 }
 
 // HourlyAnalyzer computes analysis.Hourly over the stream (Table 5,
-// Figure 4). Span must be known up front — hour buckets are fixed at
-// construction.
+// Figure 4). Span > 0 fixes the hour buckets at construction; Span == 0
+// accumulates open-ended buckets — fold the Result with FixedTo once
+// the span is known (it is identical to having fixed it up front,
+// because buckets anchor at t=0 either way).
 type HourlyAnalyzer struct {
 	Span float64
 	// Result is valid after the run.
@@ -73,12 +75,19 @@ type HourlyAnalyzer struct {
 	parts []*analysis.HourlySeries
 }
 
+func (a *HourlyAnalyzer) newSeries() *analysis.HourlySeries {
+	if a.Span > 0 {
+		return analysis.NewHourly(a.Span)
+	}
+	return analysis.NewHourlyOpen()
+}
+
 // Open implements Analyzer.
 func (a *HourlyAnalyzer) Open(shards int) []Accumulator {
 	accs := make([]Accumulator, shards)
 	a.parts = make([]*analysis.HourlySeries, shards)
 	for i := range accs {
-		h := analysis.NewHourly(a.Span)
+		h := a.newSeries()
 		a.parts[i] = h
 		accs[i] = funcAcc{h.Add}
 	}
@@ -87,7 +96,7 @@ func (a *HourlyAnalyzer) Open(shards int) []Accumulator {
 
 // Close implements Analyzer.
 func (a *HourlyAnalyzer) Close() {
-	a.Result = analysis.NewHourly(a.Span)
+	a.Result = a.newSeries()
 	for _, p := range a.parts {
 		a.Result.Merge(p)
 	}
@@ -382,6 +391,38 @@ func (a *HierarchyAnalyzer) Fork() (Analyzer, []Accumulator) {
 		total:      a.acc.total,
 	}
 	return f, []Accumulator{f.acc}
+}
+
+// NamesAnalyzer runs the §6.3 filename analysis over the stream. Name
+// bindings and file instances span directories arbitrarily, so like the
+// hierarchy it is a GlobalAnalyzer: one ordered pass on a dedicated
+// goroutine, overlapping the sharded analyses.
+type NamesAnalyzer struct {
+	stream *analysis.NamesStream
+}
+
+// Unsharded marks NamesAnalyzer as global.
+func (a *NamesAnalyzer) Unsharded() {}
+
+// Open implements Analyzer.
+func (a *NamesAnalyzer) Open(shards int) []Accumulator {
+	a.stream = analysis.NewNamesStream()
+	return []Accumulator{funcAcc{a.stream.Consume}}
+}
+
+// Close implements Analyzer.
+func (a *NamesAnalyzer) Close() {}
+
+// ReportAt builds the report as of windowEnd. Valid after the run (or
+// any time the stream is quiescent — Report does not consume state).
+func (a *NamesAnalyzer) ReportAt(windowEnd float64) *analysis.NameReport {
+	return a.stream.Report(windowEnd)
+}
+
+// Fork implements ForkableAnalyzer.
+func (a *NamesAnalyzer) Fork() (Analyzer, []Accumulator) {
+	f := &NamesAnalyzer{stream: a.stream.Clone()}
+	return f, []Accumulator{funcAcc{f.stream.Consume}}
 }
 
 type hierarchyAcc struct {

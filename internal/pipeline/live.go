@@ -188,6 +188,20 @@ func (lv *Live) Finish() Stats {
 	return lv.stats
 }
 
+// Quiesce flushes the pipeline and stops the workers WITHOUT closing
+// the analyzers: every accumulator holds its exact mid-stream partial
+// state, ready for WritePartial to serialize. The Live is spent for
+// feeding; analyzers stay open so a later decode can still fold into
+// them. Returns the stream statistics.
+func (lv *Live) Quiesce() Stats {
+	for w := range lv.bufs {
+		lv.flushShard(w)
+	}
+	lv.flushOrdered()
+	lv.shutdown()
+	return lv.stats
+}
+
 // Abort stops the workers without closing the analyzers; their results
 // are undefined. Used on source errors.
 func (lv *Live) Abort() {

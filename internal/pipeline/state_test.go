@@ -1,0 +1,307 @@
+package pipeline
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/state"
+)
+
+// fullSet is the shared analyzerSet plus the names stream, so the
+// partition grid covers every analyzer with partial-state support.
+type fullSet struct {
+	*analyzerSet
+	names *NamesAnalyzer
+}
+
+func newFullSet(span float64) *fullSet {
+	return &fullSet{analyzerSet: newAnalyzerSet(span), names: &NamesAnalyzer{}}
+}
+
+func (s *fullSet) all() []Analyzer { return append(s.analyzers(), s.names) }
+
+// fingerprint renders every analyzer's result into one comparable
+// string — the same projections the CLI renders, so equality here means
+// byte-identical tables.
+func (s *fullSet) fingerprint(stats Stats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stats=%+v\n", stats)
+	fmt.Fprintf(&b, "summary=%+v\n", *s.summary.Result)
+	hr := s.hourly.Result
+	for i := 0; i < hr.Ops.NumBuckets(); i++ {
+		fmt.Fprintf(&b, "hour%d=%v/%v/%v/%v/%v\n", i, hr.Ops.Bucket(i), hr.ReadOps.Bucket(i),
+			hr.WriteOps.Bucket(i), hr.BytesRead.Bucket(i), hr.BytesWrite.Bucket(i))
+	}
+	fmt.Fprintf(&b, "raw=%+v\nproc=%+v\n", s.rawRuns.Table(), s.procRuns.Table())
+	bl := s.blockLife.Result
+	fmt.Fprintf(&b, "blocklife=%d/%v/%d/%v/%d n=%d p50=%v p90=%v\n",
+		bl.Births, bl.BirthCause, bl.Deaths, bl.DeathCause, bl.EndSurplus,
+		bl.Lifetimes.N(), bl.Lifetimes.Percentile(50), bl.Lifetimes.Percentile(90))
+	fmt.Fprintf(&b, "sweep=%+v\n", s.sweep.Result)
+	fmt.Fprintf(&b, "peak=%+v\nmailbox=%d/%d\n", s.peak.Result, s.mailbox.MailboxBytes, s.mailbox.TotalBytes)
+	fmt.Fprintf(&b, "hier=%v\n", s.hier.Coverage)
+	rep := s.names.ReportAt(stats.MaxT)
+	for _, cs := range rep.PerCategory {
+		fmt.Fprintf(&b, "names %s=%d/%d p50=%v p98=%v\n", cs.Category, cs.Created, cs.Deleted,
+			cs.Lifetimes.Percentile(50), cs.Sizes.Percentile(98))
+	}
+	fmt.Fprintf(&b, "names acc=%v/%v/%v\n", rep.LockFracOfDeleted, rep.SizeAccuracy, rep.LifeAccuracy)
+	return b.String()
+}
+
+// TestRunPartitionedMatchesRunSlice is the tentpole guarantee at the
+// engine level: serializing every analyzer's state between pieces and
+// resuming produces results identical to one uninterrupted pass, for
+// every partition count × worker count combination.
+func TestRunPartitionedMatchesRunSlice(t *testing.T) {
+	ops := genOps(t, 0.5)
+	if len(ops) == 0 {
+		t.Fatal("no ops generated")
+	}
+	span := ops[len(ops)-1].T - ops[0].T
+
+	ref := newFullSet(span)
+	refStats := RunSlice(Config{Workers: 1}, ops, ref.all()...)
+	want := ref.fingerprint(refStats)
+
+	for _, pieces := range []int{1, 2, 8} {
+		for _, workers := range []int{1, 8} {
+			cut := make([][]*core.Op, pieces)
+			for i := range cut {
+				cut[i] = ops[i*len(ops)/pieces : (i+1)*len(ops)/pieces]
+			}
+			set := newFullSet(span)
+			stats, err := RunPartitioned(Config{Workers: workers}, cut, set.all()...)
+			if err != nil {
+				t.Fatalf("pieces=%d workers=%d: %v", pieces, workers, err)
+			}
+			if got := set.fingerprint(stats); got != want {
+				t.Errorf("pieces=%d workers=%d: results differ from single pass:\n--- want ---\n%s--- got ---\n%s",
+					pieces, workers, want, got)
+			}
+		}
+	}
+}
+
+// encodePartial runs analyzers over ops and returns the serialized
+// partial state.
+func encodePartial(t testing.TB, label string, ops []*core.Op, parent *Partial, analyzers ...Analyzer) []byte {
+	t.Helper()
+	lv := NewLive(Config{Workers: 2}, analyzers...)
+	if parent != nil {
+		if err := parent.Resume(lv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, op := range ops {
+		lv.Feed(op)
+	}
+	lv.Quiesce()
+	// Join statistics accumulate across a resume chain, as the CLI does.
+	join := core.JoinStats{Calls: int64(len(ops))}
+	if parent != nil {
+		total := parent.Join
+		total.Merge(join)
+		join = total
+	}
+	var buf bytes.Buffer
+	if err := WritePartial(&buf, lv, label, join, parent); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestWritePartialRequiresQuiescedLive(t *testing.T) {
+	lv := NewLive(Config{Workers: 1}, &SummaryAnalyzer{})
+	defer lv.Abort()
+	var buf bytes.Buffer
+	if err := WritePartial(&buf, lv, "summary", core.JoinStats{}, nil); err == nil {
+		t.Fatal("WritePartial accepted a running Live")
+	}
+}
+
+func TestResumeValidation(t *testing.T) {
+	ops := genOps(t, 0.25)
+	data := encodePartial(t, "summary", ops, nil, &SummaryAnalyzer{})
+	p, err := ReadPartial(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume into a Live that already ingested is rejected.
+	lv := NewLive(Config{Workers: 1}, &SummaryAnalyzer{})
+	lv.Feed(ops[0])
+	if err := p.Resume(lv); err == nil {
+		t.Fatal("Resume into a fed Live accepted")
+	}
+	lv.Abort()
+
+	// Resume after Finish is rejected.
+	lv2 := NewLive(Config{Workers: 1}, &SummaryAnalyzer{})
+	lv2.Feed(ops[0])
+	lv2.Finish()
+	if err := p.Resume(lv2); err == nil {
+		t.Fatal("Resume after Finish accepted")
+	}
+
+	// Decoding into a different analysis fails with a structured error.
+	lv3 := NewLive(Config{Workers: 1}, &HierarchyAnalyzer{Warmup: 600})
+	err = p.Resume(lv3)
+	lv3.Abort()
+	if err == nil || !errors.Is(err, state.ErrCorrupt) {
+		t.Fatalf("cross-analysis resume: %v", err)
+	}
+}
+
+func TestMergePartialsValidation(t *testing.T) {
+	ops := genOps(t, 0.25)
+	mid := len(ops) / 2
+	mk := func(label string, ops []*core.Op, parent *Partial, analyzers ...Analyzer) *Partial {
+		p, err := ReadPartial(bytes.NewReader(encodePartial(t, label, ops, parent, analyzers...)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	if _, _, err := MergePartials([]Analyzer{&SummaryAnalyzer{}}, nil); err == nil {
+		t.Fatal("empty merge accepted")
+	}
+
+	// Sequential analyzers refuse independent merges.
+	a := mk("hierarchy", ops[:mid], nil, &HierarchyAnalyzer{Warmup: 600})
+	b := mk("hierarchy", ops[mid:], nil, &HierarchyAnalyzer{Warmup: 600})
+	_, _, err := MergePartials([]Analyzer{&HierarchyAnalyzer{Warmup: 600}}, []*Partial{a, b})
+	if err == nil || !strings.Contains(err.Error(), "chain the pieces") {
+		t.Fatalf("independent merge of sequential analysis: %v", err)
+	}
+
+	// A chain with its first link missing is rejected.
+	chained := mk("hierarchy", ops[mid:], a, &HierarchyAnalyzer{Warmup: 600})
+	_, _, err = MergePartials([]Analyzer{&HierarchyAnalyzer{Warmup: 600}}, []*Partial{chained})
+	if err == nil || !strings.Contains(err.Error(), "chained states") {
+		t.Fatalf("headless chain: %v", err)
+	}
+
+	// A valid chain renders from the last link.
+	sum1 := mk("summary", ops[:mid], nil, &SummaryAnalyzer{})
+	sum2 := mk("summary", ops[mid:], sum1, &SummaryAnalyzer{})
+	final := &SummaryAnalyzer{}
+	stats, join, err := MergePartials([]Analyzer{final}, []*Partial{sum1, sum2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Ops != int64(len(ops)) {
+		t.Fatalf("chained stats.Ops = %d, want %d", stats.Ops, len(ops))
+	}
+	if join.Calls != int64(len(ops)) {
+		t.Fatalf("chained join.Calls = %d, want %d", join.Calls, len(ops))
+	}
+
+	ref := &SummaryAnalyzer{}
+	RunSlice(Config{Workers: 1}, ops, ref)
+	if *final.Result != *ref.Result {
+		t.Fatalf("chained merge differs:\n got %+v\nwant %+v", *final.Result, *ref.Result)
+	}
+}
+
+// TestVersionSkewThroughPartial checks the CLI-visible failure mode: a
+// state file from a future format version is rejected with an error
+// naming both versions.
+func TestVersionSkewThroughPartial(t *testing.T) {
+	ops := genOps(t, 0.25)
+	data := encodePartial(t, "summary", ops, nil, &SummaryAnalyzer{})
+	future := append([]byte(nil), data...)
+	future[8] = state.Version + 1 // version field follows the 8-byte magic, LE
+	future[9] = 0
+	_, err := ReadPartial(bytes.NewReader(future))
+	var ve *state.VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("future version: %v", err)
+	}
+	if ve.Got != state.Version+1 || ve.Supported != state.Version {
+		t.Fatalf("VersionError = %+v", ve)
+	}
+	for _, sub := range []string{fmt.Sprint(ve.Got), fmt.Sprint(ve.Supported)} {
+		if !strings.Contains(ve.Error(), sub) {
+			t.Fatalf("message %q does not name version %s", ve.Error(), sub)
+		}
+	}
+}
+
+// TestWriteFuzzCorpus regenerates the committed seed corpus for
+// FuzzStateDecode when NFSSTATE_WRITE_CORPUS=1 is set — real state
+// files plus characteristic hostile mutations, so CI's fuzz smoke
+// starts from meaningful coverage:
+//
+//	NFSSTATE_WRITE_CORPUS=1 go test ./internal/pipeline -run TestWriteFuzzCorpus
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("NFSSTATE_WRITE_CORPUS") != "1" {
+		t.Skip("set NFSSTATE_WRITE_CORPUS=1 to regenerate the seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzStateDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ops := genOps(t, 0.1)
+	summary := encodePartial(t, "summary", ops, nil, &SummaryAnalyzer{})
+	names := encodePartial(t, "names", ops, nil, &NamesAnalyzer{})
+	truncated := summary[:len(summary)*2/3]
+	flipped := append([]byte(nil), summary...)
+	flipped[len(flipped)/2] ^= 0x01
+	seeds := map[string][]byte{
+		"seed-summary":   summary,
+		"seed-names":     names,
+		"seed-truncated": truncated,
+		"seed-bitflip":   flipped,
+		"seed-magic":     []byte("nfsstate"),
+	}
+	for name, data := range seeds {
+		content := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// FuzzStateDecode feeds hostile bytes through the full partial-state
+// read path: whatever the mutation — truncation, bit flips, hostile
+// counts, fake dictionaries — the decoder must return an error wrapping
+// state.ErrCorrupt (or a *state.VersionError), never panic, and never
+// silently fold garbage into an analyzer.
+func FuzzStateDecode(f *testing.F) {
+	ops := genOps(f, 0.1)
+	f.Add(encodePartial(f, "summary", ops, nil, &SummaryAnalyzer{}))
+	f.Add(encodePartial(f, "names", ops, nil, &NamesAnalyzer{}))
+	f.Add(encodePartial(f, "blocklife", ops, nil,
+		&BlockLifeAnalyzer{Start: 0, Phase: 3600, Margin: 3600}))
+	f.Add([]byte("nfsstate"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ReadPartial(bytes.NewReader(data))
+		if err != nil {
+			var ve *state.VersionError
+			if !errors.Is(err, state.ErrCorrupt) && !errors.As(err, &ve) {
+				t.Fatalf("unstructured error: %v", err)
+			}
+			return
+		}
+		// Structurally valid: resuming into analyzers must either work
+		// or fail structurally — the checksum has passed, so semantic
+		// validation carries the rest.
+		lv := NewLive(Config{Workers: 1}, &SummaryAnalyzer{})
+		err = p.Resume(lv)
+		lv.Abort()
+		if err != nil && !errors.Is(err, state.ErrCorrupt) {
+			t.Fatalf("unstructured resume error: %v", err)
+		}
+	})
+}

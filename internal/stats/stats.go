@@ -212,6 +212,21 @@ func (c *CDF) Merge(other *CDF) {
 	c.sorted = false
 }
 
+// Samples returns the raw sample slice (not a copy, possibly unsorted).
+// It exists so the state codec can serialize a CDF without this package
+// knowing about encodings; callers must not mutate the slice.
+func (c *CDF) Samples() []float64 { return c.samples }
+
+// AddSamples appends a batch of samples, the decode-side counterpart of
+// Samples.
+func (c *CDF) AddSamples(vs []float64) {
+	if len(vs) == 0 {
+		return
+	}
+	c.samples = append(c.samples, vs...)
+	c.sorted = false
+}
+
 // Clone returns an independent copy of the CDF. The sample slice is
 // copied outright: queries sort samples in place, so sharing a backing
 // array between a live accumulator and a snapshot would let one
@@ -248,12 +263,15 @@ func (c *CDF) Percentile(p float64) float64 {
 // Median reports the 50th percentile.
 func (c *CDF) Median() float64 { return c.Percentile(50) }
 
-// TimeBuckets accumulates per-bucket counts over a fixed time span, e.g.
+// TimeBuckets accumulates per-bucket counts over a time span, e.g.
 // hourly operation counts over a week. Times are given in seconds from
-// the start of the span.
+// the start of the span. The span is either fixed at construction
+// (NewTimeBuckets) or open-ended (NewOpenTimeBuckets), growing with the
+// data; an open accumulator folds into the fixed form with Fixed.
 type TimeBuckets struct {
 	width   float64 // bucket width in seconds
 	buckets []float64
+	open    bool // buckets grow on demand instead of clamping
 }
 
 // NewTimeBuckets creates an accumulator covering span seconds with the
@@ -267,18 +285,64 @@ func NewTimeBuckets(span, width float64) *TimeBuckets {
 	return &TimeBuckets{width: width, buckets: make([]float64, n)}
 }
 
+// NewOpenTimeBuckets creates an open-ended accumulator: the bucket list
+// grows to cover whatever times are added. It is the form used when the
+// span is only known after the stream ends (a partial analysis over one
+// piece of a trace set); Fixed converts to the clamped fixed form once
+// the span is known.
+func NewOpenTimeBuckets(width float64) *TimeBuckets {
+	if width <= 0 {
+		panic(fmt.Sprintf("stats: invalid time bucket width=%v", width))
+	}
+	return &TimeBuckets{width: width, open: true}
+}
+
+// Open reports whether the accumulator grows instead of clamping.
+func (b *TimeBuckets) Open() bool { return b.open }
+
 // Add accumulates amount into the bucket containing time t (seconds from
-// the start of the span). Out-of-range times are clamped to the first or
-// last bucket so that boundary jitter never loses data.
+// the start of the span). In the fixed form, out-of-range times are
+// clamped to the first or last bucket so that boundary jitter never
+// loses data; the open form grows instead.
 func (b *TimeBuckets) Add(t, amount float64) {
-	i := int(t / b.width)
+	b.FoldBucket(int(t/b.width), amount)
+}
+
+// FoldBucket accumulates amount directly into bucket index i, with the
+// same clamping (fixed form) or growth (open form) as Add. It is the
+// decode-side primitive: bucket indexes are anchored at t=0, so folding
+// an open accumulator's buckets into a fixed-span one reproduces
+// exactly what adding the underlying observations would have.
+func (b *TimeBuckets) FoldBucket(i int, amount float64) {
 	if i < 0 {
 		i = 0
 	}
 	if i >= len(b.buckets) {
-		i = len(b.buckets) - 1
+		if !b.open {
+			if len(b.buckets) == 0 {
+				return
+			}
+			i = len(b.buckets) - 1
+		} else {
+			for len(b.buckets) <= i {
+				b.buckets = append(b.buckets, 0)
+			}
+		}
 	}
 	b.buckets[i] += amount
+}
+
+// Fixed folds an accumulator into the fixed form covering span seconds:
+// buckets past the end clamp-fold into the last one, exactly as a fixed
+// accumulator would have clamped the original Adds.
+func (b *TimeBuckets) Fixed(span float64) *TimeBuckets {
+	out := NewTimeBuckets(span, b.width)
+	for i, v := range b.buckets {
+		if v != 0 {
+			out.FoldBucket(i, v)
+		}
+	}
+	return out
 }
 
 // NumBuckets reports the number of buckets.
@@ -293,23 +357,27 @@ func (b *TimeBuckets) Width() float64 { return b.width }
 // Values returns the underlying bucket slice (not a copy).
 func (b *TimeBuckets) Values() []float64 { return b.buckets }
 
-// Merge adds other's buckets into b. Both accumulators must have been
-// created with the same span and width. Because every amount added by
-// the analyses is a whole number well below 2^53, float64 addition here
-// is exact and the merged totals are independent of shard order.
+// Merge adds other's buckets into b. Fixed accumulators must have been
+// created with the same span and width; an open accumulator accepts any
+// other with the same width, growing as needed. Because every amount
+// added by the analyses is a whole number well below 2^53, float64
+// addition here is exact and the merged totals are independent of shard
+// order.
 func (b *TimeBuckets) Merge(other *TimeBuckets) {
-	if other.width != b.width || len(other.buckets) != len(b.buckets) {
+	if other.width != b.width || (!b.open && len(other.buckets) != len(b.buckets)) {
 		panic(fmt.Sprintf("stats: merging mismatched time buckets (%v/%d vs %v/%d)",
 			b.width, len(b.buckets), other.width, len(other.buckets)))
 	}
 	for i, v := range other.buckets {
-		b.buckets[i] += v
+		if v != 0 {
+			b.FoldBucket(i, v)
+		}
 	}
 }
 
 // Clone returns an independent copy of the accumulator.
 func (b *TimeBuckets) Clone() *TimeBuckets {
-	cp := &TimeBuckets{width: b.width, buckets: make([]float64, len(b.buckets))}
+	cp := &TimeBuckets{width: b.width, buckets: make([]float64, len(b.buckets)), open: b.open}
 	copy(cp.buckets, b.buckets)
 	return cp
 }

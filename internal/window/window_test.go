@@ -123,3 +123,138 @@ func TestRingCellsAreIndependent(t *testing.T) {
 		t.Fatalf("served cell mutated by later Add: %d ops", cells[0].Sum.TotalOps)
 	}
 }
+
+func TestRingInvalidGeometryPanics(t *testing.T) {
+	for _, tc := range []struct {
+		width float64
+		keep  int
+	}{{0, 4}, {-1, 4}, {10, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewRing(%v, %d) did not panic", tc.width, tc.keep)
+				}
+			}()
+			NewRing(tc.width, tc.keep)
+		}()
+	}
+}
+
+func TestRingAccessors(t *testing.T) {
+	r := NewRing(10, 4)
+	if r.Width() != 10 || r.Keep() != 4 {
+		t.Fatalf("geometry = %v/%d", r.Width(), r.Keep())
+	}
+	if r.LastT() != 0 || r.CurrentStart() != 0 {
+		t.Fatal("empty ring reports progress")
+	}
+	r.Add(readOp(25))
+	if r.LastT() != 25 || r.CurrentStart() != 20 {
+		t.Fatalf("lastT=%v start=%v, want 25/20", r.LastT(), r.CurrentStart())
+	}
+	// An op that is late but retained must not move LastT backwards.
+	r.Add(readOp(15))
+	if r.LastT() != 25 {
+		t.Fatalf("late op moved LastT to %v", r.LastT())
+	}
+}
+
+func TestRingLateDrops(t *testing.T) {
+	r := NewRing(10, 2) // retains windows cur-1 and cur
+	r.Add(readOp(55))   // window 5
+	r.Add(readOp(42))   // window 4: late but retained
+	if r.Late() != 0 {
+		t.Fatalf("retained op counted late: %d", r.Late())
+	}
+	r.Add(readOp(31)) // window 3: older than the horizon, dropped
+	if r.Late() != 1 {
+		t.Fatalf("late = %d, want 1", r.Late())
+	}
+	cells := r.Cells()
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(cells))
+	}
+	if cells[0].Start != 40 || cells[1].Start != 50 {
+		t.Fatalf("cell starts = %v, %v", cells[0].Start, cells[1].Start)
+	}
+	if s := r.Sliding(2); s.TotalOps != 2 {
+		t.Fatalf("sliding total = %d, want 2 (dropped op excluded)", s.TotalOps)
+	}
+}
+
+func TestRingLateCellAnchorsOnDemand(t *testing.T) {
+	// The first op lands in window 5; an op for retained-but-never-
+	// initialized window 4 must anchor that cell on the fly.
+	r := NewRing(10, 4)
+	r.Add(readOp(55))
+	r.Add(readOp(44))
+	cells := r.Cells()
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(cells))
+	}
+	if cells[0].Start != 40 || cells[0].Ops != 1 {
+		t.Fatalf("on-demand cell = start %v ops %d", cells[0].Start, cells[0].Ops)
+	}
+}
+
+func TestRingSlidingClampsLow(t *testing.T) {
+	r := NewRing(10, 4)
+	r.Add(readOp(5))
+	r.Add(readOp(15))
+	if s := r.Sliding(0); s.TotalOps != 1 {
+		t.Fatalf("sliding(0) total = %d, want 1 (clamped to newest window)", s.TotalOps)
+	}
+	if s := r.Sliding(-3); s.TotalOps != 1 {
+		t.Fatalf("sliding(-3) total = %d, want 1", s.TotalOps)
+	}
+	empty := NewRing(10, 4)
+	if s := empty.Sliding(2); s.TotalOps != 0 {
+		t.Fatalf("empty sliding total = %d", s.TotalOps)
+	}
+}
+
+// TestRingSlidingMatchesCellMerge pins the sliding view's merge
+// semantics: Sliding(k) must equal merging the newest k retained cells
+// by hand — the same exact-merge property the batch pipeline relies on.
+func TestRingSlidingMatchesCellMerge(t *testing.T) {
+	r := NewRing(10, 6)
+	for i := 0; i < 6; i++ {
+		for j := 0; j <= i; j++ {
+			r.Add(readOp(float64(i*10) + float64(j)))
+			r.Add(writeOp(float64(i*10) + float64(j) + 0.5))
+		}
+	}
+	cells := r.Cells()
+	for k := 1; k <= 6; k++ {
+		want := cells[len(cells)-k:]
+		var total, reads, writes int64
+		for _, c := range want {
+			total += c.Sum.TotalOps
+			reads += c.Sum.ReadOps
+			writes += c.Sum.WriteOps
+		}
+		got := r.Sliding(k)
+		if got.TotalOps != total || got.ReadOps != reads || got.WriteOps != writes {
+			t.Fatalf("sliding(%d) = %d/%d/%d, cell merge = %d/%d/%d",
+				k, got.TotalOps, got.ReadOps, got.WriteOps, total, reads, writes)
+		}
+	}
+}
+
+// TestRingSlidingSkipsStaleSlots rolls far enough that some slots hold
+// no window in the current horizon; the stale-slot guard must skip
+// them in both Cells and Sliding.
+func TestRingSlidingSkipsStaleSlots(t *testing.T) {
+	r := NewRing(10, 4)
+	r.Add(readOp(5)) // window 0
+	// Jump 100 windows ahead: every retained slot except the current is
+	// cleared on roll, and slot reuse must not resurrect window 0.
+	r.Add(readOp(1005)) // window 100
+	cells := r.Cells()
+	if len(cells) != 1 || cells[0].Start != 1000 {
+		t.Fatalf("cells after jump = %+v", cells)
+	}
+	if s := r.Sliding(4); s.TotalOps != 1 {
+		t.Fatalf("sliding after jump = %d ops, want 1", s.TotalOps)
+	}
+}

@@ -52,12 +52,44 @@ type Trace struct {
 	// figures run on. The zero value uses one worker per CPU; every
 	// worker count produces byte-identical output.
 	Pipeline pipeline.Config
+	// Pieces > 1 runs every analysis as a chain of that many serialized
+	// partial states (pipeline.RunPartitioned) instead of one pass —
+	// output is byte-identical at any piece count, which the state
+	// equivalence tests pin down against this knob.
+	Pieces int
 }
 
 // analyze streams the trace's operations through the sharded pipeline,
-// feeding every analyzer in one pass.
+// feeding every analyzer in one pass — or, when Pieces > 1, as a
+// resume chain of serialized partial states.
 func (tr *Trace) analyze(analyzers ...pipeline.Analyzer) {
+	if tr.Pieces > 1 {
+		_, err := pipeline.RunPartitioned(tr.Pipeline, splitOps(tr.Ops, tr.Pieces), analyzers...)
+		if err != nil {
+			// Every analyzer this package registers supports partial
+			// state; a failure here is a programming error.
+			panic(err)
+		}
+		return
+	}
 	pipeline.RunSlice(tr.Pipeline, tr.Ops, analyzers...)
+}
+
+// splitOps cuts ops into n contiguous pieces of near-equal length.
+func splitOps(ops []*core.Op, n int) [][]*core.Op {
+	if n > len(ops) {
+		n = len(ops)
+	}
+	if n < 1 {
+		n = 1
+	}
+	pieces := make([][]*core.Op, 0, n)
+	for i := 0; i < n; i++ {
+		lo := i * len(ops) / n
+		hi := (i + 1) * len(ops) / n
+		pieces = append(pieces, ops[lo:hi])
+	}
+	return pieces
 }
 
 // Scale selects the simulated population size. The real systems were

@@ -1,0 +1,170 @@
+// tracesplit cuts one trace file into N pieces at quiescent record
+// boundaries: a cut is only taken where no call is awaiting its reply,
+// so every call/reply pair lands whole in one piece. Pieces produced
+// this way analyze independently (nfsanalyze -partial per piece, then
+// -merge, or -coordinator over the piece set) with join statistics —
+// and therefore all tables — byte-identical to one pass over the
+// original file.
+//
+// Input may be text or binary format, gzip-transparent; pieces are
+// written in the text format (gzip-compressed with -gzip). Piece
+// boundaries target equal record counts but slide forward to the next
+// quiescent point, so pieces are near-equal, not exact. A trace that
+// never goes quiescent (heavy loss, interleaved retransmissions)
+// yields fewer pieces than requested; tracesplit reports the count.
+//
+// Usage:
+//
+//	tracesplit -n 8 -o pieces/day campus.trace
+//	  → pieces/day-000.trace ... pieces/day-007.trace
+package main
+
+import (
+	"compress/gzip"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "tracesplit:", err)
+		os.Exit(1)
+	}
+}
+
+// pendingKey identifies an outstanding call awaiting its reply, the
+// same (client, port, xid) key the joiner matches on.
+type pendingKey struct {
+	client uint32
+	port   uint16
+	xid    uint32
+}
+
+func run(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tracesplit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	n := fs.Int("n", 2, "number of pieces")
+	prefix := fs.String("o", "piece", "output path prefix")
+	gz := fs.Bool("gzip", false, "gzip-compress the pieces")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 1 {
+		return fmt.Errorf("-n must be at least 1")
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("need exactly one input trace file")
+	}
+	in, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	src, err := core.DetectSource(in)
+	if err != nil {
+		return err
+	}
+
+	// Pass 1 cost avoidance: slurp the records once; trace files that
+	// fit the analyses fit memory here too, and counting first lets the
+	// cuts target equal record counts.
+	var records []*core.Record
+	for {
+		rec, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		records = append(records, rec)
+	}
+	if len(records) == 0 {
+		return fmt.Errorf("%s: no records", fs.Arg(0))
+	}
+
+	ext := ".trace"
+	if *gz {
+		ext += ".gz"
+	}
+	var (
+		piece   = 0
+		out     *os.File
+		zw      *gzip.Writer
+		tw      core.RecordWriter
+		pending = make(map[pendingKey]int)
+	)
+	open := func() error {
+		path := fmt.Sprintf("%s-%03d%s", *prefix, piece, ext)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		out = f
+		var w io.Writer = f
+		if *gz {
+			zw = gzip.NewWriter(f)
+			w = zw
+		}
+		tw = core.NewWriter(w)
+		return nil
+	}
+	closePiece := func() error {
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		if zw != nil {
+			if err := zw.Close(); err != nil {
+				return err
+			}
+			zw = nil
+		}
+		return out.Close()
+	}
+	if err := open(); err != nil {
+		return err
+	}
+	for i, rec := range records {
+		if err := tw.Write(rec); err != nil {
+			return err
+		}
+		k := pendingKey{rec.Client, rec.Port, rec.XID}
+		switch rec.Kind {
+		case core.KindCall:
+			pending[k]++
+		case core.KindReply:
+			if pending[k] > 0 {
+				pending[k]--
+				if pending[k] == 0 {
+					delete(pending, k)
+				}
+			}
+		}
+		// Rotate at the next quiescent point past the equal-count target.
+		last := i == len(records)-1
+		if !last && piece < *n-1 && len(pending) == 0 &&
+			int64(i+1) >= int64(piece+1)*int64(len(records))/int64(*n) {
+			if err := closePiece(); err != nil {
+				return err
+			}
+			piece++
+			if err := open(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := closePiece(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "tracesplit: %d records into %d pieces (%s-000%s ...)\n",
+		len(records), piece+1, *prefix, ext)
+	return nil
+}
