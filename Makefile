@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: help build test race race-server bench fuzz cover vet fmt-check staticcheck check nfsbench-smoke mond-smoke merge-smoke
+.PHONY: help build test race race-server bench fuzz cover vet fmt-check staticcheck check nfsbench-smoke mond-smoke merge-smoke dist-smoke
 
 help: ## list targets
 	@grep -E '^[a-z-]+:.*##' $(MAKEFILE_LIST) | awk -F':.*## ' '{printf "  %-10s %s\n", $$1, $$2}'
@@ -40,6 +40,9 @@ mond-smoke: ## run nfsmond against live nfsbench load and assert /metrics sanity
 
 merge-smoke: ## generate, split, and analyze a trace distributed three ways; assert byte-identical tables (CI, gating)
 	bash scripts/merge_smoke.sh
+
+dist-smoke: ## remote dispatch over TCP with crash and hang fault injection; assert byte-identical tables and re-dispatch (CI, gating)
+	bash scripts/dist_smoke.sh
 
 fuzz: ## run each native fuzz target for 10s
 	$(GO) test -run xxx -fuzz FuzzTextRecord -fuzztime 10s ./internal/core

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -10,26 +12,36 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"syscall"
+	"time"
 
+	"repro/internal/dispatch"
+	"repro/internal/jobspec"
 	"repro/internal/pipeline"
 )
 
-// Coordinator mode: fan the trace set's files across worker processes,
-// each running `nfsanalyze -partial`, then merge the resulting states
-// and render — byte-identical to one process reading everything.
-// Order-independent analyses run their workers in parallel and merge
-// independent states; order-dependent ones (blocklife, hierarchy,
-// names) run as a sequential resume chain, still isolating each piece
-// in its own process (memory isolation and checkpointing rather than
-// parallelism).
+// Coordinator mode: fan the trace set's files across workers, then
+// merge the resulting states and render — byte-identical to one
+// process reading everything. Two worker pools exist: local child
+// processes running `nfsanalyze -partial` (the default), and remote
+// nfsworker daemons reached over TCP via internal/dispatch
+// (-remote host:port,...), which stream the trace bytes themselves so
+// no shared filesystem is needed. Order-independent analyses run
+// their workers in parallel and merge independent states;
+// order-dependent ones (blocklife, hierarchy, names) run as a
+// sequential resume chain, still isolating each piece in its own
+// worker (memory isolation and checkpointing rather than
+// parallelism). Either pool degrades gracefully: a piece whose
+// workers are all dead or exhausted runs locally in-process.
 
-// coordConfig carries everything runCoordinator needs.
+// coordConfig carries everything the coordinator modes need.
 type coordConfig struct {
-	spec     *analysisSpec
+	set      *jobspec.Set
 	paths    []string
 	workers  int
 	decoders int
-	opt      analysisOptions
+	timeout  time.Duration
+	remote   []string
 }
 
 // partitionFiles cuts paths into at most n contiguous groups of
@@ -68,16 +80,11 @@ func partitionFiles(paths []string, n int) [][]string {
 	return groups
 }
 
-// runCoordinator partitions cc.paths across worker processes, collects
-// their partial states, merges, and renders.
+// runCoordinator partitions cc.paths across local worker processes,
+// collects their partial states, merges, and renders.
 func runCoordinator(cc coordConfig, stdout, stderr io.Writer) error {
 	groups := partitionFiles(cc.paths, cc.workers)
-	seq := false
-	for _, a := range cc.spec.analyzers {
-		if pipeline.IsSequential(a) {
-			seq = true
-		}
-	}
+	seq := cc.set.Sequential()
 
 	exe, err := os.Executable()
 	if err != nil {
@@ -95,14 +102,15 @@ func runCoordinator(cc coordConfig, stdout, stderr io.Writer) error {
 	for i := range groups {
 		stateFiles[i] = filepath.Join(dir, fmt.Sprintf("piece-%03d.state", i))
 	}
+	spec := cc.set.Spec
 	workerArgs := func(i int) []string {
 		args := []string{
-			"-analysis", cc.spec.kind,
-			"-window", fmt.Sprint(cc.opt.window),
-			"-k", fmt.Sprint(cc.opt.jump),
-			"-start", fmt.Sprint(cc.opt.start),
-			"-phase", fmt.Sprint(cc.opt.phase),
-			"-margin", fmt.Sprint(cc.opt.margin),
+			"-analysis", spec.Kind,
+			"-window", fmt.Sprint(spec.Window),
+			"-k", fmt.Sprint(spec.Jump),
+			"-start", fmt.Sprint(spec.Start),
+			"-phase", fmt.Sprint(spec.Phase),
+			"-margin", fmt.Sprint(spec.Margin),
 			"-decoders", fmt.Sprint(cc.decoders),
 			"-partial", stateFiles[i],
 		}
@@ -114,7 +122,7 @@ func runCoordinator(cc coordConfig, stdout, stderr io.Writer) error {
 
 	if seq && len(groups) > 1 {
 		for i := range groups {
-			if err := runWorker(exe, i, workerArgs(i), groups[i], stderr); err != nil {
+			if err := runWorker(exe, i, workerArgs(i), groups[i], cc.timeout, stderr); err != nil {
 				return err
 			}
 		}
@@ -125,7 +133,7 @@ func runCoordinator(cc coordConfig, stdout, stderr io.Writer) error {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				errs[i] = runWorker(exe, i, workerArgs(i), groups[i], stderr)
+				errs[i] = runWorker(exe, i, workerArgs(i), groups[i], cc.timeout, stderr)
 			}(i)
 		}
 		wg.Wait()
@@ -138,40 +146,203 @@ func runCoordinator(cc coordConfig, stdout, stderr io.Writer) error {
 
 	partials := make([]*pipeline.Partial, len(stateFiles))
 	for i, path := range stateFiles {
-		p, err := readPartialFile(path, cc.spec.kind)
+		p, err := readPartialFile(path, spec.Kind)
 		if err != nil {
 			return fmt.Errorf("coordinator: worker %d state: %w", i, err)
 		}
 		partials[i] = p
 	}
-	stats, join, err := pipeline.MergePartials(cc.spec.analyzers, partials)
+	stats, join, err := pipeline.MergePartials(cc.set.Analyzers, partials)
 	if err != nil {
 		return err
 	}
-	cc.spec.render(stdout, stats, join)
+	cc.set.Render(stdout, stats, join)
 	return nil
 }
 
-// runWorker spawns one `nfsanalyze -partial` child, retrying once on
-// failure (a transient crash re-analyzes its files; state files are
-// deterministic, so a retry is safe).
-func runWorker(exe string, idx int, args, files []string, stderr io.Writer) error {
+// localRetries is the per-piece attempt budget for local subprocess
+// workers; retries are paced by localBackoff.
+const localRetries = 2
+
+// localBackoff paces local retry attempts: a transient crash gets a
+// breather (with jitter, so parallel pieces don't retry in lockstep)
+// instead of an instant re-spawn into the same condition.
+var localBackoff = dispatch.NewBackoff(100*time.Millisecond, 2*time.Second, 0.3, 1)
+
+// runWorker spawns one `nfsanalyze -partial` child per attempt. Every
+// attempt runs under a context deadline: a hung worker is killed —
+// process group and all, so decoder children die with it — and the
+// piece is retried. State files are deterministic, so a retry after a
+// partial write is safe (the file is recreated from scratch).
+func runWorker(exe string, idx int, args, files []string, timeout time.Duration, stderr io.Writer) error {
 	var lastErr error
-	for attempt := 0; attempt < 2; attempt++ {
+	for attempt := 0; attempt < localRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(localBackoff.Delay(attempt - 1))
+		}
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+		}
 		var errBuf bytes.Buffer
-		cmd := exec.Command(exe, args...)
+		cmd := exec.CommandContext(ctx, exe, args...)
 		cmd.Env = append(os.Environ(), "NFSANALYZE_WORKER=1")
 		cmd.Stdout = io.Discard
 		cmd.Stderr = &errBuf
+		// The worker gets its own process group so a deadline kill
+		// takes out anything it spawned, not just the direct child.
+		cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+		cmd.Cancel = func() error {
+			return syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL)
+		}
+		// If the group refuses to die, stop waiting rather than hang
+		// the coordinator on a shared pipe.
+		cmd.WaitDelay = 5 * time.Second
 		err := cmd.Run()
+		cancel()
 		if err == nil {
 			return nil
 		}
-		lastErr = fmt.Errorf("coordinator: worker %d (files %s) failed: %v\n%s",
-			idx, strings.Join(files, ", "), err, strings.TrimSpace(errBuf.String()))
-		if attempt == 0 {
-			fmt.Fprintf(stderr, "nfsanalyze: coordinator: worker %d failed, retrying: %v\n", idx, err)
+		reason := err.Error()
+		if ctx.Err() == context.DeadlineExceeded {
+			reason = fmt.Sprintf("deadline: hung past %s, killed", timeout)
+		}
+		lastErr = fmt.Errorf("coordinator: worker %d (files %s) failed: %s\n%s",
+			idx, strings.Join(files, ", "), reason, strings.TrimSpace(errBuf.String()))
+		if attempt < localRetries-1 {
+			fmt.Fprintf(stderr, "nfsanalyze: coordinator: worker %d failed, retrying: %s\n", idx, reason)
 		}
 	}
 	return lastErr
+}
+
+// runRemoteCoordinator fans the trace set across remote nfsworker
+// daemons via internal/dispatch, falls back to local execution for any
+// piece the pool could not finish, merges, and renders.
+func runRemoteCoordinator(cc coordConfig, stdout, stderr io.Writer) error {
+	n := cc.workers
+	if n <= 0 {
+		// Over-partition relative to the pool so straggler re-dispatch
+		// and failure retries have spare pieces to balance with.
+		n = 2 * len(cc.remote)
+	}
+	groups := partitionFiles(cc.paths, n)
+	specJSON, err := json.Marshal(cc.set.Spec)
+	if err != nil {
+		return err
+	}
+
+	// Serialize log lines: dispatch logs from many goroutines, and the
+	// caller's stderr may be a plain buffer.
+	var logMu sync.Mutex
+	logf := func(format string, args ...interface{}) {
+		logMu.Lock()
+		fmt.Fprintf(stderr, "nfsanalyze: "+format+"\n", args...)
+		logMu.Unlock()
+	}
+	logf("coordinator: %d remote workers (%s) over %d files in %d pieces",
+		len(cc.remote), strings.Join(cc.remote, ","), len(cc.paths), len(groups))
+
+	validate := func(task dispatch.Task, state []byte) error {
+		p, err := pipeline.ReadPartial(bytes.NewReader(state))
+		if err != nil {
+			return err
+		}
+		if p.Label != cc.set.Spec.Kind {
+			return fmt.Errorf("state holds a %q analysis, not %q", p.Label, cc.set.Spec.Kind)
+		}
+		return nil
+	}
+	dcfg := dispatch.Config{
+		Addrs:         cc.remote,
+		AssignTimeout: cc.timeout,
+		Validate:      validate,
+		Logf:          logf,
+	}
+
+	ctx := context.Background()
+	states := make([][]byte, len(groups))
+	if cc.set.Sequential() {
+		// Order-dependent analyses form a resume chain: piece i+1 needs
+		// piece i's state, so dispatch is one piece at a time — each
+		// link still gets the full retry/deadline/failover treatment,
+		// and a straggling link can be speculatively duplicated.
+		var parent []byte
+		for i, g := range groups {
+			task := dispatch.Task{ID: i, Spec: specJSON, Decoders: cc.decoders, Files: g, Parent: parent}
+			results, _, err := dispatch.Run(ctx, dcfg, []dispatch.Task{task})
+			if err != nil {
+				return err
+			}
+			if len(results) == 1 {
+				states[i] = results[0].State
+			} else {
+				blob, err := runPieceLocally(ctx, cc, g, parent, logf, i)
+				if err != nil {
+					return err
+				}
+				states[i] = blob
+			}
+			parent = states[i]
+		}
+	} else {
+		tasks := make([]dispatch.Task, len(groups))
+		for i, g := range groups {
+			tasks[i] = dispatch.Task{ID: i, Spec: specJSON, Decoders: cc.decoders, Files: g}
+		}
+		results, rstats, err := dispatch.Run(ctx, dcfg, tasks)
+		if err != nil {
+			return err
+		}
+		logf("coordinator: dispatch finished: %d/%d pieces remote (dispatched %d, retries %d, speculations %d, duplicates %d)",
+			rstats.Completed, len(groups), rstats.Dispatched, rstats.Retries, rstats.Speculations, rstats.Duplicates)
+		for _, res := range results {
+			states[res.TaskID] = res.State
+		}
+		for i, blob := range states {
+			if blob != nil {
+				continue
+			}
+			b, err := runPieceLocally(ctx, cc, groups[i], nil, logf, i)
+			if err != nil {
+				return err
+			}
+			states[i] = b
+		}
+	}
+
+	partials := make([]*pipeline.Partial, len(states))
+	for i, blob := range states {
+		p, err := pipeline.ReadPartial(bytes.NewReader(blob))
+		if err != nil {
+			return fmt.Errorf("coordinator: piece %d state: %w", i, err)
+		}
+		if p.Label != cc.set.Spec.Kind {
+			return fmt.Errorf("coordinator: piece %d holds a %q analysis, not %q", i, p.Label, cc.set.Spec.Kind)
+		}
+		partials[i] = p
+	}
+	stats, join, err := pipeline.MergePartials(cc.set.Analyzers, partials)
+	if err != nil {
+		return err
+	}
+	cc.set.Render(stdout, stats, join)
+	return nil
+}
+
+// runPieceLocally is the graceful-degradation path: when the remote
+// pool could not finish a piece, analyze it in-process so the run
+// still completes without human intervention.
+func runPieceLocally(ctx context.Context, cc coordConfig, files []string, parent []byte, logf func(string, ...interface{}), idx int) ([]byte, error) {
+	logf("coordinator: piece %d: worker pool degraded; running locally", idx)
+	var pp *pipeline.Partial
+	if len(parent) > 0 {
+		p, err := pipeline.ReadPartial(bytes.NewReader(parent))
+		if err != nil {
+			return nil, err
+		}
+		pp = p
+	}
+	return jobspec.RunFiles(ctx, cc.set.Spec, files, cc.decoders, pp)
 }

@@ -44,9 +44,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
+	"time"
 
-	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/jobspec"
 	"repro/internal/pipeline"
 	"repro/internal/workload"
 )
@@ -64,128 +66,9 @@ func main() {
 // to stderr, so main exits nonzero without printing it again.
 var errUsage = errors.New("usage")
 
-// analysisOptions carries the per-analysis tuning flags; the
-// coordinator propagates them verbatim to its workers.
-type analysisOptions struct {
-	window float64
-	jump   int64
-	start  float64
-	phase  float64
-	margin float64
-}
-
-// analysisSpec is one -analysis kind made concrete: the pipeline
-// analyzers to run and how to render their results. Every mode — plain
-// run, resumed run, merged states, coordinator — renders through the
-// same closure, which is what keeps their outputs byte-identical.
-type analysisSpec struct {
-	kind      string
-	analyzers []pipeline.Analyzer
-	render    func(w io.Writer, stats pipeline.Stats, join core.JoinStats)
-}
-
-// buildAnalysis constructs the spec for one -analysis kind.
-func buildAnalysis(kind string, opt analysisOptions) (*analysisSpec, error) {
-	spec := &analysisSpec{kind: kind}
-	switch kind {
-	case "summary":
-		sum := &pipeline.SummaryAnalyzer{}
-		spec.analyzers = []pipeline.Analyzer{sum}
-		spec.render = func(w io.Writer, stats pipeline.Stats, join core.JoinStats) {
-			days := stats.Span() / workload.Day
-			if days <= 0 {
-				days = 1.0 / 24
-			}
-			sum.Result.Days = days
-			fmt.Fprintln(w, sum.Result)
-			fmt.Fprintf(w, "join: %d calls, %d replies, %d unmatched calls, %d orphan replies (loss est %.2f%%)\n",
-				join.Calls, join.Replies, join.UnmatchedCalls, join.OrphanReplies, 100*join.LossEstimate())
-		}
-	case "runs":
-		ra := &pipeline.RunsAnalyzer{Config: analysis.RunConfig{
-			ReorderWindow: opt.window / 1000, IdleGap: 30, JumpBlocks: opt.jump}}
-		spec.analyzers = []pipeline.Analyzer{ra}
-		spec.render = func(w io.Writer, stats pipeline.Stats, join core.JoinStats) {
-			tab := ra.Table()
-			fmt.Fprintf(w, "runs=%d window=%.0fms k=%d\n", tab.TotalRuns, opt.window, opt.jump)
-			fmt.Fprintf(w, "reads  %5.1f%% of runs: entire %5.1f%% seq %5.1f%% random %5.1f%%\n",
-				tab.ReadPct, tab.Read[0], tab.Read[1], tab.Read[2])
-			fmt.Fprintf(w, "writes %5.1f%% of runs: entire %5.1f%% seq %5.1f%% random %5.1f%%\n",
-				tab.WritePct, tab.Write[0], tab.Write[1], tab.Write[2])
-			fmt.Fprintf(w, "r-w    %5.1f%% of runs: entire %5.1f%% seq %5.1f%% random %5.1f%%\n",
-				tab.ReadWritePct, tab.ReadWrite[0], tab.ReadWrite[1], tab.ReadWrite[2])
-		}
-	case "blocklife":
-		bl := &pipeline.BlockLifeAnalyzer{Start: opt.start, Phase: opt.phase, Margin: opt.margin}
-		spec.analyzers = []pipeline.Analyzer{bl}
-		spec.render = func(w io.Writer, stats pipeline.Stats, join core.JoinStats) {
-			res := bl.Result
-			fmt.Fprintf(w, "births=%d (writes %.1f%%, extension %.1f%%)\n",
-				res.Births, res.BirthPct(analysis.BirthWrite), res.BirthPct(analysis.BirthExtension))
-			fmt.Fprintf(w, "deaths=%d (overwrite %.1f%%, truncate %.1f%%, delete %.1f%%)\n",
-				res.Deaths, res.DeathPct(analysis.DeathOverwrite),
-				res.DeathPct(analysis.DeathTruncate), res.DeathPct(analysis.DeathDelete))
-			fmt.Fprintf(w, "end surplus %.1f%%; lifetime p50=%.1fs p90=%.1fs\n",
-				res.EndSurplusPct(), res.Lifetimes.Percentile(50), res.Lifetimes.Percentile(90))
-		}
-	case "hierarchy":
-		hier := &pipeline.HierarchyAnalyzer{Warmup: 600}
-		spec.analyzers = []pipeline.Analyzer{hier}
-		spec.render = func(w io.Writer, stats pipeline.Stats, join core.JoinStats) {
-			fmt.Fprintf(w, "hierarchy coverage after 10min warmup: %.2f%%\n", 100*hier.Coverage)
-		}
-	case "reorder":
-		sweep := &pipeline.ReorderSweepAnalyzer{WindowsMS: []float64{0, 1, 2, 5, 10, 20, 50}}
-		spec.analyzers = []pipeline.Analyzer{sweep}
-		spec.render = func(w io.Writer, stats pipeline.Stats, join core.JoinStats) {
-			for _, p := range sweep.Result {
-				fmt.Fprintf(w, "window %5.0fms: %.2f%% swapped\n", p.WindowMS, p.SwappedPct)
-			}
-		}
-	case "hourly":
-		// Open-ended hour buckets; the span (and so the bucket count) is
-		// fixed only at render time, which lets the accumulation run
-		// incrementally and serialize mid-stream.
-		h := &pipeline.HourlyAnalyzer{}
-		spec.analyzers = []pipeline.Analyzer{h}
-		spec.render = func(w io.Writer, stats pipeline.Stats, join core.JoinStats) {
-			span := stats.Span()
-			if span <= 0 {
-				span = 3600
-			}
-			fixed := h.Result.FixedTo(span)
-			for _, peak := range []bool{false, true} {
-				label := "all hours"
-				if peak {
-					label = "peak hours"
-				}
-				fmt.Fprintf(w, "%s:\n", label)
-				for _, row := range fixed.VarianceTable(peak) {
-					fmt.Fprintf(w, "  %-20s mean=%12.0f stddev=%5.0f%%\n", row.Name, row.Mean, 100*row.RelStddev)
-				}
-			}
-		}
-	case "names":
-		na := &pipeline.NamesAnalyzer{}
-		spec.analyzers = []pipeline.Analyzer{na}
-		spec.render = func(w io.Writer, stats pipeline.Stats, join core.JoinStats) {
-			rep := na.ReportAt(stats.MaxT)
-			for _, cs := range rep.PerCategory {
-				if cs.Created == 0 {
-					continue
-				}
-				fmt.Fprintf(w, "%-10s created=%6d deleted=%6d life_p50=%8.2fs size_p98=%10.0fB\n",
-					cs.Category, cs.Created, cs.Deleted,
-					cs.Lifetimes.Percentile(50), cs.Sizes.Percentile(98))
-			}
-			fmt.Fprintf(w, "locks %.1f%% of created-and-deleted; size prediction %.0f%%, lifetime prediction %.0f%%\n",
-				100*rep.LockFracOfDeleted, 100*rep.SizeAccuracy, 100*rep.LifeAccuracy)
-		}
-	default:
-		return nil, fmt.Errorf("unknown analysis %q", kind)
-	}
-	return spec, nil
-}
+// The analyzer set and renderer for each -analysis kind live in
+// internal/jobspec, shared with cmd/nfsworker so a remote worker
+// rebuilds the exact analyzers this process would run.
 
 // run is main's logic behind injectable streams, so the cmd tree is
 // testable end to end.
@@ -206,6 +89,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	resumeIn := fs.String("resume", "", "seed the analysis from this state file before reading input")
 	mergeMode := fs.Bool("merge", false, "inputs are state files: merge them and render the tables")
 	coordMode := fs.Bool("coordinator", false, "partition input files across -workers child processes, merge their states, render")
+	remote := fs.String("remote", "", "comma-separated nfsworker addresses; with -coordinator, dispatch pieces to them over TCP instead of local subprocesses")
+	workerTimeout := fs.Duration("worker-timeout", 10*time.Minute, "deadline per worker attempt in coordinator mode; an attempt past it is killed and re-dispatched")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
@@ -244,8 +129,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		defer pprof.StopCPUProfile()
 	}
 
-	opt := analysisOptions{window: *window, jump: *jump, start: *start, phase: *phase, margin: *margin}
-	spec, err := buildAnalysis(*kind, opt)
+	spec := jobspec.Spec{Kind: *kind, Window: *window, Jump: *jump, Start: *start, Phase: *phase, Margin: *margin}
+	set, err := jobspec.Build(spec)
 	if err != nil {
 		return err
 	}
@@ -265,7 +150,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return runMerge(spec, paths, stdout)
+		return runMerge(set, paths, stdout)
+	}
+	if *remote != "" && !*coordMode {
+		return fmt.Errorf("-remote requires -coordinator")
 	}
 	if *coordMode {
 		if *partialOut != "" || *resumeIn != "" {
@@ -278,18 +166,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return runCoordinator(coordConfig{
-			spec:     spec,
+		cc := coordConfig{
+			set:      set,
 			paths:    paths,
 			workers:  *workers,
 			decoders: *decoders,
-			opt:      opt,
-		}, stdout, stderr)
+			timeout:  *workerTimeout,
+		}
+		if *remote != "" {
+			cc.remote = strings.Split(*remote, ",")
+			return runRemoteCoordinator(cc, stdout, stderr)
+		}
+		return runCoordinator(cc, stdout, stderr)
+	}
+
+	if *partialOut != "" && os.Getenv("NFSANALYZE_TEST_HANG") == "1" {
+		// Test hook: simulate a wedged worker so the coordinator's
+		// per-attempt deadline and process-group kill can be pinned.
+		time.Sleep(time.Hour)
 	}
 
 	icfg := core.IngestConfig{Decoders: *decoders}
 	var src core.RecordSource
-	var set *pipeline.TraceSet
+	var ts *pipeline.TraceSet
 	if len(inputs) == 0 {
 		pr, err := core.NewParallelReader(os.Stdin, icfg)
 		if err != nil {
@@ -302,24 +201,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		set, err = pipeline.OpenTraceSet(paths, icfg)
+		ts, err = pipeline.OpenTraceSet(paths, icfg)
 		if err != nil {
 			return err
 		}
-		defer set.Close()
-		src = set
+		defer ts.Close()
+		src = ts
 	}
 	cfg := pipeline.Config{Workers: *workers}
 
 	var resumed *pipeline.Partial
 	if *resumeIn != "" {
-		resumed, err = readPartialFile(*resumeIn, spec.kind)
+		resumed, err = readPartialFile(*resumeIn, spec.Kind)
 		if err != nil {
 			return err
 		}
 	}
 
-	lv := pipeline.NewLive(cfg, spec.analyzers...)
+	lv := pipeline.NewLive(cfg, set.Analyzers...)
 	if resumed != nil {
 		if err := resumed.Resume(lv); err != nil {
 			lv.Abort()
@@ -356,7 +255,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := pipeline.WritePartial(f, lv, spec.kind, join, resumed); err != nil {
+		if err := pipeline.WritePartial(f, lv, spec.Kind, join, resumed); err != nil {
 			f.Close()
 			return err
 		}
@@ -368,11 +267,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if stats.Ops == 0 {
 			return fmt.Errorf("no operations in trace")
 		}
-		spec.render(stdout, stats, join)
+		set.Render(stdout, stats, join)
 	}
 
-	if set != nil && len(set.Stats()) > 1 {
-		for _, st := range set.Stats() {
+	if ts != nil && len(ts.Stats()) > 1 {
+		for _, st := range ts.Stats() {
 			fmt.Fprintf(stderr, "nfsanalyze: %s: %d records\n", st.Path, st.Records)
 		}
 	}
@@ -398,19 +297,19 @@ func readPartialFile(path, kind string) (*pipeline.Partial, error) {
 }
 
 // runMerge combines state files and renders the tables.
-func runMerge(spec *analysisSpec, paths []string, stdout io.Writer) error {
+func runMerge(set *jobspec.Set, paths []string, stdout io.Writer) error {
 	partials := make([]*pipeline.Partial, 0, len(paths))
 	for _, path := range paths {
-		p, err := readPartialFile(path, spec.kind)
+		p, err := readPartialFile(path, set.Spec.Kind)
 		if err != nil {
 			return err
 		}
 		partials = append(partials, p)
 	}
-	stats, join, err := pipeline.MergePartials(spec.analyzers, partials)
+	stats, join, err := pipeline.MergePartials(set.Analyzers, partials)
 	if err != nil {
 		return err
 	}
-	spec.render(stdout, stats, join)
+	set.Render(stdout, stats, join)
 	return nil
 }

@@ -1,0 +1,214 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/jobspec"
+	"repro/internal/pipeline"
+)
+
+// jobRunner is the worker-side execution hook backed by the shared
+// jobspec machinery — the same runner cmd/nfsworker wires up, here
+// in-process so the tests control fault injection directly.
+func jobRunner(ctx context.Context, specJSON, parent []byte, files []string, decoders int) ([]byte, error) {
+	var spec jobspec.Spec
+	if err := json.Unmarshal(specJSON, &spec); err != nil {
+		return nil, err
+	}
+	var pp *pipeline.Partial
+	if len(parent) > 0 {
+		p, err := pipeline.ReadPartial(bytes.NewReader(parent))
+		if err != nil {
+			return nil, err
+		}
+		pp = p
+	}
+	return jobspec.RunFiles(ctx, spec, files, decoders, pp)
+}
+
+// startAnalysisWorker serves w on loopback and returns its address.
+func startAnalysisWorker(t *testing.T, w *dispatch.Worker) string {
+	t.Helper()
+	if w.Runner == nil {
+		w.Runner = jobRunner
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go w.Serve(lis)
+	t.Cleanup(w.Drain)
+	return lis.Addr().String()
+}
+
+// TestRemoteCoordinatorMatchesDirect runs -coordinator -remote against
+// healthy in-process workers and checks the rendered tables are
+// byte-identical to the single-process run, for parallel and chained
+// analyses alike.
+func TestRemoteCoordinatorMatchesDirect(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := smokeTrace(t, dir)
+	pdir := filepath.Join(dir, "pieces")
+	if err := os.MkdirAll(pdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	pieces := splitQuiescent(t, path, 4, pdir, true)
+	addrs := startAnalysisWorker(t, &dispatch.Worker{}) + "," + startAnalysisWorker(t, &dispatch.Worker{})
+	for _, kind := range []string{"summary", "runs", "blocklife", "names"} {
+		want := directOutput(t, kind, path)
+		var out, errb bytes.Buffer
+		args := append([]string{"-analysis", kind, "-coordinator", "-remote", addrs, "-workers", "4"}, pieces...)
+		if err := run(args, &out, &errb); err != nil {
+			t.Fatalf("%s: %v (stderr: %s)", kind, err, errb.String())
+		}
+		if out.String() != want {
+			t.Fatalf("%s: remote output differs:\n--- direct ---\n%s--- remote ---\n%s", kind, want, out.String())
+		}
+		if !strings.Contains(errb.String(), "remote workers") {
+			t.Fatalf("%s: stderr missing remote banner: %s", kind, errb.String())
+		}
+	}
+}
+
+// TestRemoteCoordinatorSurvivesFaults drives every injected failure —
+// hang past the deadline, killed mid-result-stream, corrupt state
+// rejected by checksum — through a flaky worker and checks the output
+// stays byte-identical to the single-process run.
+func TestRemoteCoordinatorSurvivesFaults(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := smokeTrace(t, dir)
+	pdir := filepath.Join(dir, "pieces")
+	if err := os.MkdirAll(pdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	pieces := splitQuiescent(t, path, 4, pdir, false)
+	for _, kind := range []string{"summary", "names"} {
+		want := directOutput(t, kind, path)
+		healthy := startAnalysisWorker(t, &dispatch.Worker{})
+		flaky := startAnalysisWorker(t, &dispatch.Worker{
+			Exit: func(int) {}, // crash = connection death; process survives for retries
+			FaultFor: func(seq int) dispatch.Fault {
+				return map[int]dispatch.Fault{
+					1: dispatch.FaultHang,
+					2: dispatch.FaultCrash,
+					3: dispatch.FaultCorrupt,
+				}[seq]
+			},
+		})
+		var out, errb bytes.Buffer
+		args := append([]string{
+			"-analysis", kind, "-coordinator",
+			"-remote", healthy + "," + flaky,
+			"-workers", "4", "-worker-timeout", "2s",
+		}, pieces...)
+		if err := run(args, &out, &errb); err != nil {
+			t.Fatalf("%s: %v (stderr: %s)", kind, err, errb.String())
+		}
+		if out.String() != want {
+			t.Fatalf("%s: output with faults differs:\n--- direct ---\n%s--- faulty ---\n%s", kind, want, out.String())
+		}
+	}
+}
+
+// TestRemoteCoordinatorFallsBackWhenPoolDead points -remote at a dead
+// endpoint: every piece must degrade to local execution and the output
+// must still be byte-identical.
+func TestRemoteCoordinatorFallsBackWhenPoolDead(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := smokeTrace(t, dir)
+	pieces := splitQuiescent(t, path, 2, dir, false)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := lis.Addr().String()
+	lis.Close()
+	for _, kind := range []string{"summary", "names"} {
+		want := directOutput(t, kind, path)
+		var out, errb bytes.Buffer
+		args := append([]string{"-analysis", kind, "-coordinator", "-remote", dead}, pieces...)
+		if err := run(args, &out, &errb); err != nil {
+			t.Fatalf("%s: %v (stderr: %s)", kind, err, errb.String())
+		}
+		if out.String() != want {
+			t.Fatalf("%s: fallback output differs:\n--- direct ---\n%s--- fallback ---\n%s", kind, want, out.String())
+		}
+		if !strings.Contains(errb.String(), "running locally") {
+			t.Fatalf("%s: stderr missing local-fallback note: %s", kind, errb.String())
+		}
+	}
+}
+
+// TestLocalWorkerDeadlineKillsHungWorker pins satellite behavior: a
+// local -coordinator worker that hangs is killed (process group and
+// all) when -worker-timeout expires, retried, and the run fails with a
+// deadline error instead of hanging forever.
+func TestLocalWorkerDeadlineKillsHungWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	dir := t.TempDir()
+	path, _ := smokeTrace(t, dir)
+	t.Setenv("NFSANALYZE_TEST_HANG", "1")
+	start := time.Now()
+	var out, errb bytes.Buffer
+	err := run([]string{
+		"-analysis", "summary", "-coordinator",
+		"-workers", "1", "-worker-timeout", "300ms", path,
+	}, &out, &errb)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatalf("hung worker did not fail the run (stderr: %s)", errb.String())
+	}
+	if !strings.Contains(err.Error(), "hung past") {
+		t.Fatalf("error %q does not report the deadline kill", err)
+	}
+	if !strings.Contains(errb.String(), "retrying") {
+		t.Fatalf("stderr missing the retry between attempts: %s", errb.String())
+	}
+	// Two 300ms attempts plus backoff: anything near a minute means the
+	// kill never landed and cmd.Wait rode the full hang.
+	if elapsed > 30*time.Second {
+		t.Fatalf("run took %v; the process-group kill apparently failed", elapsed)
+	}
+}
+
+// TestPartitionFiles pins the partitioner: contiguous groups, every
+// group non-empty, order preserved.
+func TestPartitionFiles(t *testing.T) {
+	dir := t.TempDir()
+	var paths []string
+	for i := 0; i < 5; i++ {
+		p := filepath.Join(dir, fmt.Sprintf("f%d", i))
+		if err := os.WriteFile(p, bytes.Repeat([]byte("x"), (i+1)*100), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	for _, n := range []int{1, 2, 3, 5, 9} {
+		groups := partitionFiles(paths, n)
+		if len(groups) > n || len(groups) > len(paths) {
+			t.Fatalf("n=%d: %d groups", n, len(groups))
+		}
+		var flat []string
+		for _, g := range groups {
+			if len(g) == 0 {
+				t.Fatalf("n=%d: empty group", n)
+			}
+			flat = append(flat, g...)
+		}
+		if strings.Join(flat, ",") != strings.Join(paths, ",") {
+			t.Fatalf("n=%d: groups reorder or drop files: %v", n, groups)
+		}
+	}
+}

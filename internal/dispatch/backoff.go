@@ -1,0 +1,68 @@
+package dispatch
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff computes retry delays: exponential growth from Base by
+// Factor, capped at Max, with a uniform ±Jitter fraction so a burst of
+// failures doesn't re-dispatch in lockstep. The zero value is not
+// usable; call NewBackoff.
+type Backoff struct {
+	// Base is the delay for attempt 0.
+	Base time.Duration
+	// Max caps the grown delay (before jitter).
+	Max time.Duration
+	// Factor multiplies the delay per attempt; values below 1 are
+	// treated as the default 2.
+	Factor float64
+	// Jitter is the fraction of the delay used as a ± random spread;
+	// 0.2 means the result lands in [0.8d, 1.2d].
+	Jitter float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewBackoff builds a backoff policy with a deterministic jitter
+// source, so tests (and reruns) see a reproducible delay sequence.
+func NewBackoff(base, max time.Duration, jitter float64, seed int64) *Backoff {
+	return &Backoff{
+		Base:   base,
+		Max:    max,
+		Factor: 2,
+		Jitter: jitter,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Delay returns the backoff for the given zero-based attempt number.
+func (b *Backoff) Delay(attempt int) time.Duration {
+	d := float64(b.Base)
+	factor := b.Factor
+	if factor < 1 {
+		factor = 2
+	}
+	for i := 0; i < attempt; i++ {
+		d *= factor
+		if time.Duration(d) >= b.Max {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if b.Jitter > 0 {
+		b.mu.Lock()
+		// Uniform in [1-j, 1+j].
+		d *= 1 + b.Jitter*(2*b.rng.Float64()-1)
+		b.mu.Unlock()
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}

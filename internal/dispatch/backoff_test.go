@@ -1,0 +1,55 @@
+package dispatch
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffExponentialSequence(t *testing.T) {
+	b := NewBackoff(100*time.Millisecond, time.Second, 0, 1)
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		time.Second, // capped
+		time.Second,
+	}
+	for i, w := range want {
+		if got := b.Delay(i); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	b := NewBackoff(100*time.Millisecond, time.Second, 0.2, 7)
+	for i := 0; i < 200; i++ {
+		d := b.Delay(1) // 200ms nominal
+		lo, hi := 160*time.Millisecond, 240*time.Millisecond
+		if d < lo || d > hi {
+			t.Fatalf("jittered delay %v outside [%v, %v]", d, lo, hi)
+		}
+	}
+}
+
+func TestBackoffJitterVaries(t *testing.T) {
+	b := NewBackoff(100*time.Millisecond, time.Second, 0.2, 7)
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 50; i++ {
+		seen[b.Delay(0)] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("jitter produced only %d distinct delays", len(seen))
+	}
+}
+
+func TestBackoffDeterministicAcrossInstances(t *testing.T) {
+	a := NewBackoff(100*time.Millisecond, time.Second, 0.5, 42)
+	b := NewBackoff(100*time.Millisecond, time.Second, 0.5, 42)
+	for i := 0; i < 20; i++ {
+		if da, db := a.Delay(i%4), b.Delay(i%4); da != db {
+			t.Fatalf("same seed diverged at draw %d: %v vs %v", i, da, db)
+		}
+	}
+}

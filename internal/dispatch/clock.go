@@ -1,0 +1,98 @@
+package dispatch
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the retry, heartbeat, and straggler
+// machinery, so the timing policies test deterministically against a
+// fake. The zero Config uses the real clock.
+type Clock interface {
+	Now() time.Time
+	// After fires once after d, like time.After.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks for d.
+	Sleep(d time.Duration)
+}
+
+// realClock is the production Clock.
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+
+// FakeClock is a manually advanced Clock for tests: Sleep and After
+// block until Advance moves the clock past them. All methods are safe
+// for concurrent use.
+type FakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*fakeWaiter
+}
+
+type fakeWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewFakeClock starts a fake clock at an arbitrary fixed epoch.
+func NewFakeClock() *FakeClock {
+	return &FakeClock{now: time.Unix(1_000_000, 0)}
+}
+
+// Now reports the fake current time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After returns a channel that fires when the clock is advanced to or
+// past now+d.
+func (c *FakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := &fakeWaiter{at: c.now.Add(d), ch: make(chan time.Time, 1)}
+	if d <= 0 {
+		w.ch <- c.now
+		return w.ch
+	}
+	c.waiters = append(c.waiters, w)
+	return w.ch
+}
+
+// Sleep blocks until the clock advances past d.
+func (c *FakeClock) Sleep(d time.Duration) { <-c.After(d) }
+
+// Advance moves the clock forward, firing every waiter whose time has
+// come, in deadline order.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	now := c.now
+	var due, rest []*fakeWaiter
+	for _, w := range c.waiters {
+		if !w.at.After(now) {
+			due = append(due, w)
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	c.waiters = rest
+	c.mu.Unlock()
+	sort.Slice(due, func(i, j int) bool { return due[i].at.Before(due[j].at) })
+	for _, w := range due {
+		w.ch <- now
+	}
+}
+
+// Waiters reports how many timers are pending, letting a test
+// synchronize on "the code under test has gone to sleep".
+func (c *FakeClock) Waiters() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
+}

@@ -1,0 +1,78 @@
+package dispatch
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFakeClockAfterFiresOnAdvance(t *testing.T) {
+	c := NewFakeClock()
+	ch := c.After(100 * time.Millisecond)
+	select {
+	case <-ch:
+		t.Fatal("fired before Advance")
+	default:
+	}
+	c.Advance(99 * time.Millisecond)
+	select {
+	case <-ch:
+		t.Fatal("fired early")
+	default:
+	}
+	c.Advance(time.Millisecond)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("did not fire at its deadline")
+	}
+}
+
+func TestFakeClockImmediateAfter(t *testing.T) {
+	c := NewFakeClock()
+	select {
+	case <-c.After(0):
+	default:
+		t.Fatal("After(0) should fire immediately")
+	}
+}
+
+func TestFakeClockSleepBlocksUntilAdvance(t *testing.T) {
+	c := NewFakeClock()
+	done := make(chan struct{})
+	go func() {
+		c.Sleep(50 * time.Millisecond)
+		close(done)
+	}()
+	// Wait for the sleeper to register, then release it.
+	for c.Waiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-done:
+		t.Fatal("Sleep returned without Advance")
+	default:
+	}
+	c.Advance(50 * time.Millisecond)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep did not wake after Advance")
+	}
+}
+
+func TestFakeClockWaitersAndNow(t *testing.T) {
+	c := NewFakeClock()
+	t0 := c.Now()
+	c.After(time.Minute)
+	c.After(time.Hour)
+	if c.Waiters() != 2 {
+		t.Fatalf("Waiters() = %d, want 2", c.Waiters())
+	}
+	c.Advance(time.Minute)
+	if c.Waiters() != 1 {
+		t.Fatalf("Waiters() after partial advance = %d, want 1", c.Waiters())
+	}
+	if got := c.Now().Sub(t0); got != time.Minute {
+		t.Fatalf("Now advanced by %v, want 1m", got)
+	}
+}

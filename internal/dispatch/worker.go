@@ -1,0 +1,310 @@
+package dispatch
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Runner executes one assignment in the worker process: build the
+// analysis the spec JSON describes, optionally resume from the parent
+// state bytes, analyze the spooled trace files with the requested
+// decoder parallelism, and return the serialized partial state. It
+// must respect ctx — the coordinator has already imposed the same
+// deadline on its side.
+type Runner func(ctx context.Context, spec []byte, parent []byte, files []string, decoders int) ([]byte, error)
+
+// Fault is an injected failure mode for one assignment — the -flaky
+// testing surface that makes the dist-smoke failure scenarios
+// reproducible.
+type Fault int
+
+const (
+	// FaultNone executes normally.
+	FaultNone Fault = iota
+	// FaultCrash computes the result, streams roughly half of it, then
+	// kills the process — the killed-mid-stream scenario.
+	FaultCrash
+	// FaultHang stops cold before executing: no heartbeats, connection
+	// held open — the hung-past-deadline scenario.
+	FaultHang
+	// FaultCorrupt flips one byte of the state blob before sending, so
+	// the coordinator's checksum validation must catch it.
+	FaultCorrupt
+)
+
+// Worker serves assignments from coordinators. Zero value plus a
+// Runner is usable; Serve accepts connections until Drain.
+type Worker struct {
+	// Runner executes assignments. Required.
+	Runner Runner
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...interface{})
+	// FaultFor, when non-nil, maps the 1-based global assignment
+	// sequence number to an injected fault.
+	FaultFor func(seq int) Fault
+	// Exit terminates the process for FaultCrash; nil means os.Exit.
+	// Tests substitute a soft exit.
+	Exit func(code int)
+	// TempDir is the spool root for received trace pieces; empty means
+	// the system temp dir.
+	TempDir string
+
+	mu       sync.Mutex
+	lis      net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+	stop     chan struct{}
+	nAssign  int
+	busy     sync.WaitGroup // in-flight assignments, for Drain
+	handlers sync.WaitGroup // live connection handlers
+}
+
+func (w *Worker) logf(format string, args ...interface{}) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+// Serve accepts coordinator connections on lis until Drain (which
+// returns nil) or a listener error. Each connection gets its own
+// handler; assignments on one connection run serially, matching the
+// coordinator's one-assignment-at-a-time protocol.
+func (w *Worker) Serve(lis net.Listener) error {
+	w.mu.Lock()
+	w.lis = lis
+	if w.stop == nil {
+		w.stop = make(chan struct{})
+	}
+	if w.conns == nil {
+		w.conns = make(map[net.Conn]struct{})
+	}
+	w.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			w.mu.Lock()
+			draining := w.draining
+			w.mu.Unlock()
+			if draining {
+				w.handlers.Wait()
+				return nil
+			}
+			return err
+		}
+		w.mu.Lock()
+		w.conns[conn] = struct{}{}
+		w.mu.Unlock()
+		w.handlers.Add(1)
+		go func() {
+			defer w.handlers.Done()
+			w.handleConn(conn)
+			w.mu.Lock()
+			delete(w.conns, conn)
+			w.mu.Unlock()
+			conn.Close()
+		}()
+	}
+}
+
+// Drain is the SIGTERM path: stop accepting, let the in-flight
+// assignment finish and its result flush, then close every
+// connection. Serve returns nil once the drain completes.
+func (w *Worker) Drain() {
+	w.mu.Lock()
+	if w.draining {
+		w.mu.Unlock()
+		return
+	}
+	w.draining = true
+	if w.stop == nil {
+		w.stop = make(chan struct{})
+	}
+	close(w.stop)
+	lis := w.lis
+	w.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+	w.busy.Wait()
+	w.mu.Lock()
+	for conn := range w.conns {
+		conn.Close()
+	}
+	w.mu.Unlock()
+}
+
+// handleConn registers with the coordinator and serves its
+// assignments until the connection closes or the worker drains.
+func (w *Worker) handleConn(conn net.Conn) {
+	fr := newFrameRW(conn)
+	host, _ := os.Hostname()
+	if err := fr.sendJSON(frameHello, hello{Version: ProtocolVersion, Host: host, PID: os.Getpid()}); err != nil {
+		return
+	}
+	for {
+		t, payload, err := fr.recv()
+		if err != nil {
+			return
+		}
+		switch t {
+		case frameShutdown:
+			return
+		case frameAssign:
+			var ah assignHeader
+			if err := json.Unmarshal(payload, &ah); err != nil {
+				w.logf("worker: bad assign header: %v", err)
+				return
+			}
+			w.mu.Lock()
+			if w.draining {
+				w.mu.Unlock()
+				return
+			}
+			w.busy.Add(1)
+			w.nAssign++
+			seq := w.nAssign
+			w.mu.Unlock()
+			err := w.runAssignment(fr, ah, seq)
+			w.busy.Done()
+			if err != nil {
+				w.logf("worker: assignment %d: %v", ah.ID, err)
+				return
+			}
+		default:
+			w.logf("worker: unexpected frame 0x%02x", t)
+			return
+		}
+	}
+}
+
+// runAssignment receives the assignment's data blobs, executes the
+// runner under the assignment deadline while heartbeating, and streams
+// the result back. A non-nil return kills the connection; analysis
+// errors are reported in-band and keep the connection alive.
+func (w *Worker) runAssignment(fr *frameRW, ah assignHeader, seq int) error {
+	var parent []byte
+	var err error
+	if ah.HasParent {
+		parent, err = fr.recvBlob(maxBlobLen, nil)
+		if err != nil {
+			return fmt.Errorf("receiving parent state: %w", err)
+		}
+	}
+	dir, err := os.MkdirTemp(w.TempDir, "nfsworker-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	paths := make([]string, len(ah.Files))
+	for i, fm := range ah.Files {
+		blob, err := fr.recvBlob(maxBlobLen, nil)
+		if err != nil {
+			return fmt.Errorf("receiving %s: %w", fm.Name, err)
+		}
+		paths[i] = filepath.Join(dir, fmt.Sprintf("%03d-%s", i, filepath.Base(fm.Name)))
+		if err := os.WriteFile(paths[i], blob, 0o600); err != nil {
+			return err
+		}
+	}
+
+	fault := FaultNone
+	if w.FaultFor != nil {
+		fault = w.FaultFor(seq)
+	}
+	if fault == FaultHang {
+		// A wedged worker: the connection stays open, heartbeats stop,
+		// work never finishes. The coordinator's deadline or heartbeat
+		// watchdog must recover; the process unwedges only on drain.
+		w.logf("worker: FAULT hang on assignment %d (piece %d)", seq, ah.ID)
+		<-w.stopCh()
+		return fmt.Errorf("unwedged by drain")
+	}
+
+	ctx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	if ah.DeadlineMS > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(ah.DeadlineMS)*time.Millisecond)
+	}
+	defer cancel()
+
+	// Heartbeats flow for the whole execution, from a side goroutine;
+	// frameRW serializes them against the result stream.
+	hbStop := make(chan struct{})
+	var hbDone sync.WaitGroup
+	interval := time.Duration(ah.HeartbeatMS) * time.Millisecond
+	if interval > 0 {
+		hbDone.Add(1)
+		go func() {
+			defer hbDone.Done()
+			for {
+				select {
+				case <-hbStop:
+					return
+				case <-time.After(interval):
+					if err := fr.sendJSON(frameHeartbeat, heartbeat{ID: ah.ID}); err != nil {
+						return
+					}
+				}
+			}
+		}()
+	}
+	state, runErr := w.Runner(ctx, ah.Spec, parent, paths, ah.Decoders)
+	close(hbStop)
+	hbDone.Wait()
+
+	if runErr != nil {
+		w.logf("worker: piece %d failed: %v", ah.ID, runErr)
+		return fr.sendJSON(frameError, errorMsg{ID: ah.ID, Msg: runErr.Error()})
+	}
+	switch fault {
+	case FaultCorrupt:
+		w.logf("worker: FAULT corrupting result of assignment %d (piece %d)", seq, ah.ID)
+		state = append([]byte(nil), state...)
+		state[len(state)/2] ^= 0xFF
+	case FaultCrash:
+		w.logf("worker: FAULT crashing mid-stream on assignment %d (piece %d)", seq, ah.ID)
+		if err := fr.sendJSON(frameResult, resultHeader{ID: ah.ID, Size: int64(len(state))}); err != nil {
+			return err
+		}
+		// Stream some of the blob, then die without the terminator.
+		half := state[:len(state)/2+1]
+		for off := 0; off < len(half); off += chunkSize {
+			end := off + chunkSize
+			if end > len(half) {
+				end = len(half)
+			}
+			if err := fr.send(frameChunk, half[off:end]); err != nil {
+				return err
+			}
+		}
+		exit := w.Exit
+		if exit == nil {
+			exit = os.Exit
+		}
+		exit(3)
+		return fmt.Errorf("crash fault: exit hook returned")
+	}
+	if err := fr.sendJSON(frameResult, resultHeader{ID: ah.ID, Size: int64(len(state))}); err != nil {
+		return err
+	}
+	if err := fr.sendBlob(state); err != nil {
+		return err
+	}
+	w.logf("worker: piece %d done (%d state bytes)", ah.ID, len(state))
+	return nil
+}
+
+func (w *Worker) stopCh() chan struct{} {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.stop == nil {
+		w.stop = make(chan struct{})
+	}
+	return w.stop
+}

@@ -1,0 +1,249 @@
+// Package jobspec names an analysis job completely — the -analysis
+// kind plus every tuning option — in a form that crosses process and
+// machine boundaries: the coordinator serializes a Spec as JSON into a
+// dispatch assignment, and the remote worker rebuilds the exact same
+// analyzer set from it. Keeping construction in one place is what
+// keeps every execution mode (in-process, subprocess, remote worker)
+// rendering byte-identical tables: they all run the same analyzers
+// and the same render closure.
+package jobspec
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// Spec is the complete, serializable description of one analysis job.
+type Spec struct {
+	// Kind is the analysis name: summary, runs, blocklife, hourly,
+	// names, hierarchy, reorder.
+	Kind string `json:"kind"`
+	// Window is the reorder window in ms (runs).
+	Window float64 `json:"window"`
+	// Jump is the jump tolerance in blocks (runs).
+	Jump int64 `json:"jump"`
+	// Start is the blocklife phase-1 start in seconds.
+	Start float64 `json:"start"`
+	// Phase is the blocklife phase-1 length in seconds.
+	Phase float64 `json:"phase"`
+	// Margin is the blocklife end margin in seconds.
+	Margin float64 `json:"margin"`
+}
+
+// Default returns the spec for kind with every option at the flag
+// defaults nfsanalyze documents.
+func Default(kind string) Spec {
+	return Spec{Kind: kind, Window: 10, Jump: 10, Phase: workload.Day, Margin: workload.Day}
+}
+
+// Set is a Spec made concrete: the pipeline analyzers to run and how
+// to render their results. Every mode — plain run, resumed run, merged
+// states, coordinator, remote worker — renders through the same
+// closure, which is what keeps their outputs byte-identical.
+type Set struct {
+	Spec      Spec
+	Analyzers []pipeline.Analyzer
+	Render    func(w io.Writer, stats pipeline.Stats, join core.JoinStats)
+}
+
+// Sequential reports whether any analyzer is order-dependent, meaning
+// partial states only compose as a resume chain, never as an
+// independent merge.
+func (s *Set) Sequential() bool {
+	for _, a := range s.Analyzers {
+		if pipeline.IsSequential(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// Build constructs the analyzer set and renderer for a spec.
+func Build(spec Spec) (*Set, error) {
+	set := &Set{Spec: spec}
+	switch spec.Kind {
+	case "summary":
+		sum := &pipeline.SummaryAnalyzer{}
+		set.Analyzers = []pipeline.Analyzer{sum}
+		set.Render = func(w io.Writer, stats pipeline.Stats, join core.JoinStats) {
+			days := stats.Span() / workload.Day
+			if days <= 0 {
+				days = 1.0 / 24
+			}
+			sum.Result.Days = days
+			fmt.Fprintln(w, sum.Result)
+			fmt.Fprintf(w, "join: %d calls, %d replies, %d unmatched calls, %d orphan replies (loss est %.2f%%)\n",
+				join.Calls, join.Replies, join.UnmatchedCalls, join.OrphanReplies, 100*join.LossEstimate())
+		}
+	case "runs":
+		ra := &pipeline.RunsAnalyzer{Config: analysis.RunConfig{
+			ReorderWindow: spec.Window / 1000, IdleGap: 30, JumpBlocks: spec.Jump}}
+		set.Analyzers = []pipeline.Analyzer{ra}
+		set.Render = func(w io.Writer, stats pipeline.Stats, join core.JoinStats) {
+			tab := ra.Table()
+			fmt.Fprintf(w, "runs=%d window=%.0fms k=%d\n", tab.TotalRuns, spec.Window, spec.Jump)
+			fmt.Fprintf(w, "reads  %5.1f%% of runs: entire %5.1f%% seq %5.1f%% random %5.1f%%\n",
+				tab.ReadPct, tab.Read[0], tab.Read[1], tab.Read[2])
+			fmt.Fprintf(w, "writes %5.1f%% of runs: entire %5.1f%% seq %5.1f%% random %5.1f%%\n",
+				tab.WritePct, tab.Write[0], tab.Write[1], tab.Write[2])
+			fmt.Fprintf(w, "r-w    %5.1f%% of runs: entire %5.1f%% seq %5.1f%% random %5.1f%%\n",
+				tab.ReadWritePct, tab.ReadWrite[0], tab.ReadWrite[1], tab.ReadWrite[2])
+		}
+	case "blocklife":
+		bl := &pipeline.BlockLifeAnalyzer{Start: spec.Start, Phase: spec.Phase, Margin: spec.Margin}
+		set.Analyzers = []pipeline.Analyzer{bl}
+		set.Render = func(w io.Writer, stats pipeline.Stats, join core.JoinStats) {
+			res := bl.Result
+			fmt.Fprintf(w, "births=%d (writes %.1f%%, extension %.1f%%)\n",
+				res.Births, res.BirthPct(analysis.BirthWrite), res.BirthPct(analysis.BirthExtension))
+			fmt.Fprintf(w, "deaths=%d (overwrite %.1f%%, truncate %.1f%%, delete %.1f%%)\n",
+				res.Deaths, res.DeathPct(analysis.DeathOverwrite),
+				res.DeathPct(analysis.DeathTruncate), res.DeathPct(analysis.DeathDelete))
+			fmt.Fprintf(w, "end surplus %.1f%%; lifetime p50=%.1fs p90=%.1fs\n",
+				res.EndSurplusPct(), res.Lifetimes.Percentile(50), res.Lifetimes.Percentile(90))
+		}
+	case "hierarchy":
+		hier := &pipeline.HierarchyAnalyzer{Warmup: 600}
+		set.Analyzers = []pipeline.Analyzer{hier}
+		set.Render = func(w io.Writer, stats pipeline.Stats, join core.JoinStats) {
+			fmt.Fprintf(w, "hierarchy coverage after 10min warmup: %.2f%%\n", 100*hier.Coverage)
+		}
+	case "reorder":
+		sweep := &pipeline.ReorderSweepAnalyzer{WindowsMS: []float64{0, 1, 2, 5, 10, 20, 50}}
+		set.Analyzers = []pipeline.Analyzer{sweep}
+		set.Render = func(w io.Writer, stats pipeline.Stats, join core.JoinStats) {
+			for _, p := range sweep.Result {
+				fmt.Fprintf(w, "window %5.0fms: %.2f%% swapped\n", p.WindowMS, p.SwappedPct)
+			}
+		}
+	case "hourly":
+		// Open-ended hour buckets; the span (and so the bucket count) is
+		// fixed only at render time, which lets the accumulation run
+		// incrementally and serialize mid-stream.
+		h := &pipeline.HourlyAnalyzer{}
+		set.Analyzers = []pipeline.Analyzer{h}
+		set.Render = func(w io.Writer, stats pipeline.Stats, join core.JoinStats) {
+			span := stats.Span()
+			if span <= 0 {
+				span = 3600
+			}
+			fixed := h.Result.FixedTo(span)
+			for _, peak := range []bool{false, true} {
+				label := "all hours"
+				if peak {
+					label = "peak hours"
+				}
+				fmt.Fprintf(w, "%s:\n", label)
+				for _, row := range fixed.VarianceTable(peak) {
+					fmt.Fprintf(w, "  %-20s mean=%12.0f stddev=%5.0f%%\n", row.Name, row.Mean, 100*row.RelStddev)
+				}
+			}
+		}
+	case "names":
+		na := &pipeline.NamesAnalyzer{}
+		set.Analyzers = []pipeline.Analyzer{na}
+		set.Render = func(w io.Writer, stats pipeline.Stats, join core.JoinStats) {
+			rep := na.ReportAt(stats.MaxT)
+			for _, cs := range rep.PerCategory {
+				if cs.Created == 0 {
+					continue
+				}
+				fmt.Fprintf(w, "%-10s created=%6d deleted=%6d life_p50=%8.2fs size_p98=%10.0fB\n",
+					cs.Category, cs.Created, cs.Deleted,
+					cs.Lifetimes.Percentile(50), cs.Sizes.Percentile(98))
+			}
+			fmt.Fprintf(w, "locks %.1f%% of created-and-deleted; size prediction %.0f%%, lifetime prediction %.0f%%\n",
+				100*rep.LockFracOfDeleted, 100*rep.SizeAccuracy, 100*rep.LifeAccuracy)
+		}
+	default:
+		return nil, fmt.Errorf("unknown analysis %q", spec.Kind)
+	}
+	return set, nil
+}
+
+// RunFiles executes the worker side of one distributed assignment in
+// this process: build the spec's analyzers, optionally resume from a
+// parent partial state, stream the trace files through the joiner and
+// pipeline, quiesce, and serialize the partial state. The returned
+// bytes are a complete state file, checksummed and mergeable. The
+// context is checked between operations so a coordinator-imposed
+// deadline abandons the run promptly.
+func RunFiles(ctx context.Context, spec Spec, paths []string, decoders int, parent *pipeline.Partial) ([]byte, error) {
+	set, err := Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := pipeline.OpenTraceSet(paths, core.IngestConfig{Decoders: decoders})
+	if err != nil {
+		return nil, err
+	}
+	defer ts.Close()
+
+	lv := pipeline.NewLive(pipeline.Config{Workers: 1}, set.Analyzers...)
+	if parent != nil {
+		if err := parent.Resume(lv); err != nil {
+			lv.Abort()
+			return nil, err
+		}
+	}
+	j := pipeline.NewJoiner(ts)
+	// An already-expired deadline aborts before any work; inside the
+	// loop the check is amortized so small assignments stay cheap.
+	select {
+	case <-ctx.Done():
+		lv.Abort()
+		return nil, ctx.Err()
+	default:
+	}
+	const cancelCheckEvery = 4096
+	n := 0
+	for {
+		op, err := j.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			lv.Abort()
+			return nil, err
+		}
+		lv.Feed(op)
+		if n++; n%cancelCheckEvery == 0 {
+			select {
+			case <-ctx.Done():
+				lv.Abort()
+				return nil, ctx.Err()
+			default:
+			}
+		}
+	}
+	join := j.Stats()
+	if parent != nil {
+		total := parent.Join
+		total.Merge(join)
+		join = total
+	}
+	stats := lv.Quiesce()
+	if stats.Ops == 0 {
+		return nil, fmt.Errorf("jobspec: no operations in assignment")
+	}
+	var buf writerBuffer
+	if err := pipeline.WritePartial(&buf, lv, spec.Kind, join, parent); err != nil {
+		return nil, err
+	}
+	return buf.b, nil
+}
+
+// writerBuffer is a minimal io.Writer over an owned byte slice,
+// avoiding a bytes.Buffer copy on the result path.
+type writerBuffer struct{ b []byte }
+
+func (w *writerBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}

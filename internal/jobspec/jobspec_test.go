@@ -1,0 +1,139 @@
+package jobspec
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro"
+	"repro/internal/pipeline"
+)
+
+var allKinds = []string{"summary", "runs", "blocklife", "hourly", "names", "hierarchy", "reorder"}
+
+var seqKinds = map[string]bool{"blocklife": true, "hierarchy": true, "names": true}
+
+func TestBuildEveryKind(t *testing.T) {
+	for _, kind := range allKinds {
+		set, err := Build(Default(kind))
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(set.Analyzers) == 0 || set.Render == nil {
+			t.Fatalf("%s: incomplete set", kind)
+		}
+		if set.Sequential() != seqKinds[kind] {
+			t.Fatalf("%s: Sequential() = %v, want %v", kind, set.Sequential(), seqKinds[kind])
+		}
+	}
+}
+
+func TestBuildUnknownKind(t *testing.T) {
+	if _, err := Build(Spec{Kind: "nope"}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestDefaultCarriesKind(t *testing.T) {
+	s := Default("runs")
+	if s.Kind != "runs" || s.Window != 10 || s.Jump != 10 {
+		t.Fatalf("defaults: %+v", s)
+	}
+}
+
+func writeTrace(t *testing.T, dir string) string {
+	t.Helper()
+	scale := repro.SmallScale()
+	scale.Days = 0.25
+	records := repro.GenerateCampusRecords(scale)
+	var buf bytes.Buffer
+	if err := repro.WriteTrace(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "campus.trace")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunFilesProducesLoadableState runs each analysis through the
+// worker-side entry point and checks the returned blob is a valid
+// partial state carrying the right label and a parent link only when
+// resumed.
+func TestRunFilesProducesLoadableState(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTrace(t, dir)
+	for _, kind := range allKinds {
+		blob, err := RunFiles(context.Background(), Default(kind), []string{path}, 1, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		p, err := pipeline.ReadPartial(bytes.NewReader(blob))
+		if err != nil {
+			t.Fatalf("%s: unreadable state: %v", kind, err)
+		}
+		if p.Label != kind {
+			t.Fatalf("%s: state label %q", kind, p.Label)
+		}
+		if len(p.ParentDigest) != 0 {
+			t.Fatalf("%s: unresumed state has a parent digest", kind)
+		}
+	}
+}
+
+// TestRunFilesResumeChains runs a chained analysis in two RunFiles
+// calls and checks the child state records the parent's digest — the
+// linkage MergePartials later validates.
+func TestRunFilesResumeChains(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTrace(t, dir)
+	spec := Default("names")
+	first, err := RunFiles(context.Background(), spec, []string{path}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent, err := pipeline.ReadPartial(bytes.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunFiles(context.Background(), spec, []string{path}, 1, parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, err := pipeline.ReadPartial(bytes.NewReader(second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(child.ParentDigest, parent.Digest) {
+		t.Fatal("resumed state does not link to its parent")
+	}
+}
+
+func TestRunFilesErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTrace(t, dir)
+
+	// Unknown kind surfaces from Build.
+	if _, err := RunFiles(context.Background(), Spec{Kind: "nope"}, []string{path}, 1, nil); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+
+	// An empty trace has no operations to report.
+	empty := filepath.Join(dir, "empty.trace")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunFiles(context.Background(), Default("summary"), []string{empty}, 1, nil); err == nil {
+		t.Fatal("empty assignment produced a state")
+	}
+
+	// Cancellation aborts mid-run.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunFiles(ctx, Default("summary"), []string{path}, 1, nil); err == nil {
+		t.Fatal("cancelled context did not abort")
+	}
+}

@@ -49,15 +49,25 @@ func (c *RecordConn) WriteRecord(msg []byte) error {
 
 // ReadRecord reads one complete record, reassembling fragments. The
 // returned slice is freshly allocated and owned by the caller.
+//
+// A stream that ends exactly on a record boundary returns io.EOF. A
+// stream cut anywhere inside a record — mid-header, mid-body, or
+// between the fragments of a multi-fragment record — returns
+// io.ErrUnexpectedEOF, so connection loss never reads as a clean end
+// of stream with a silently dropped tail.
 func (c *RecordConn) ReadRecord() ([]byte, error) {
 	var msg []byte
+	started := false
 	for {
 		if _, err := io.ReadFull(c.r, c.hdr[:]); err != nil {
-			if err == io.ErrUnexpectedEOF {
-				err = io.EOF
+			if started && err == io.EOF {
+				// Non-final fragments were consumed; the record is
+				// truncated even though the header read saw no bytes.
+				err = io.ErrUnexpectedEOF
 			}
 			return nil, err
 		}
+		started = true
 		hdr := binary.BigEndian.Uint32(c.hdr[:])
 		last := hdr&0x80000000 != 0
 		n := int(hdr & 0x7FFFFFFF)

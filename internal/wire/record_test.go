@@ -87,6 +87,40 @@ func TestRecordConnSymmetry(t *testing.T) {
 	}
 }
 
+// TestRecordConnTruncation pins the EOF taxonomy: a stream ending on a
+// record boundary is a clean io.EOF, but a cut anywhere inside a record
+// — mid-header, mid-body, or between fragments — is io.ErrUnexpectedEOF.
+// A coordinator relies on this to tell an orderly shutdown from a
+// worker that died mid-stream.
+func TestRecordConnTruncation(t *testing.T) {
+	full := rpc.MarkRecordFragmented(bytes.Repeat([]byte("payload "), 64), 33)
+	cases := []struct {
+		name string
+		cut  int
+		want error
+	}{
+		{"empty stream", 0, io.EOF},
+		{"partial first header", 2, io.ErrUnexpectedEOF},
+		{"partial fragment body", 4 + 10, io.ErrUnexpectedEOF},
+		{"clean cut between fragments", 4 + 33, io.ErrUnexpectedEOF},
+		{"partial second header", 4 + 33 + 2, io.ErrUnexpectedEOF},
+		{"complete record", len(full), nil},
+	}
+	for _, tc := range cases {
+		rc := NewRecordConn(&rwBuffer{r: bytes.NewBuffer(full[:tc.cut]), w: &bytes.Buffer{}})
+		_, err := rc.ReadRecord()
+		if err != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+		if tc.want == nil {
+			// After a complete record the boundary EOF must stay clean.
+			if _, err := rc.ReadRecord(); err != io.EOF {
+				t.Errorf("%s: post-record read: got %v, want io.EOF", tc.name, err)
+			}
+		}
+	}
+}
+
 func TestRecordConnLimits(t *testing.T) {
 	// A hostile length prefix must error, not allocate 2GB.
 	evil := []byte{0xFF, 0xFF, 0xFF, 0xFF}
